@@ -1,0 +1,74 @@
+// E2 — Figure 1, "PISCES 2 VIRTUAL MACHINE ORGANIZATION": the paper's only
+// figure. This bench boots the virtual machine in the figure's shape (three
+// clusters: one with a user controller, one with a file controller and
+// disk, one plain) plus the Section 9 worked mapping, and renders the live
+// organization — clusters, slots, controllers, force PEs, and the
+// message-passing network.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "exec/execution_env.hpp"
+
+using namespace pisces;
+using namespace pisces::bench;
+
+namespace {
+
+void render_figure1_shape() {
+  banner("E2a: Figure 1 organization (three clusters, live controllers)");
+  config::Configuration cfg = config::Configuration::simple(3);
+  cfg.name = "figure1";
+  Sim sim(cfg);
+  // Cluster 2 has the disk/file controller, as in the figure's middle
+  // cluster ("Disk 0 -- File controller").
+  fsim::FileStore store;
+  store.create("bigarray", 32, 32, 0.0);
+  sim.rt().attach_file_store(2, std::move(store), 1);
+  sim.rt().register_tasktype("usertask", [](rt::TaskContext& ctx) {
+    ctx.accept(rt::AcceptSpec{}.of("stop").delay_for(5'000'000));
+  });
+  sim.rt().boot();
+  // Occupy some slots so the figure shows both "User task" and "<not in
+  // use>" entries, as the paper's figure does.
+  sim.rt().user_initiate(1, "usertask");
+  sim.rt().user_initiate(1, "usertask");
+  sim.rt().user_initiate(3, "usertask");
+  sim.rt().run_for(2'000'000);
+
+  exec::ExecutionEnvironment env(sim.rt());
+  env.display_organization(std::cout);
+}
+
+void render_section9_shape() {
+  banner("E2b: the Section 9 worked mapping, rendered the same way");
+  Sim sim(config::Configuration::section9_example());
+  sim.rt().boot();
+  sim.rt().run_for(1'000'000);
+  exec::ExecutionEnvironment env(sim.rt());
+  env.display_organization(std::cout);
+}
+
+void BM_RenderOrganization(benchmark::State& state) {
+  Sim sim(config::Configuration::section9_example());
+  sim.rt().boot();
+  sim.rt().run_for(1'000'000);
+  exec::ExecutionEnvironment env(sim.rt());
+  for (auto _ : state) {
+    std::ostringstream os;
+    env.display_organization(os);
+    benchmark::DoNotOptimize(os.str());
+  }
+}
+BENCHMARK(BM_RenderOrganization);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "PISCES 2 reproduction — E2: virtual machine organization "
+               "(paper Figure 1)\n";
+  render_figure1_shape();
+  render_section9_shape();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E5 (extension) — force speedup. Section 7 defines forces; Section 9 lets
+// the configuration choose the member count; the paper takes no timings.
+// This bench sweeps force size 1..18 under PRESCHED and SELFSCHED with
+// uniform and skewed iteration costs — the classic static-vs-dynamic
+// scheduling trade-off: prescheduling wins when iterations are uniform
+// (no fetch overhead), self-scheduling wins under skew (load balance).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "sim/random.hpp"
+
+using namespace pisces;
+using namespace pisces::bench;
+
+namespace {
+
+struct LoopResult {
+  sim::Tick elapsed = 0;
+};
+
+/// Run a 96-iteration loop under the given force size and discipline.
+/// `skew`: iteration i costs base*(1 + 3*(i<12)) — a hot head of the index
+/// space, the worst case for prescheduling's round-robin split.
+sim::Tick run_loop(int members, bool selfsched, bool skew) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  for (int i = 1; i < members; ++i) {
+    cfg.clusters[0].secondary_pes.push_back(3 + i);
+  }
+  Sim sim(cfg);
+  sim::Tick elapsed = 0;
+  run_main(sim, [&](rt::TaskContext& ctx) {
+    const sim::Tick start = sim.engine.now();
+    ctx.forcesplit([&](rt::ForceContext& fc) {
+      auto body = [&](std::int64_t i) {
+        const sim::Tick cost = skew && i < 12 ? 80'000 : 20'000;
+        fc.compute(cost);
+      };
+      if (selfsched) {
+        fc.selfsched(0, 95, 1, body);
+      } else {
+        fc.presched(0, 95, 1, body);
+      }
+    });
+    elapsed = sim.engine.now() - start;
+  });
+  return elapsed;
+}
+
+void speedup_table(bool skew) {
+  banner(skew ? "E5b: skewed iterations (first 12 cost 4x)"
+              : "E5a: uniform iterations");
+  Table t({"members", "PRESCHED", "speedup", "SELFSCHED", "speedup", "winner"});
+  sim::Tick pre1 = 0;
+  sim::Tick self1 = 0;
+  for (int members : {1, 2, 4, 8, 12, 18}) {
+    const sim::Tick pre = run_loop(members, false, skew);
+    const sim::Tick self = run_loop(members, true, skew);
+    if (members == 1) {
+      pre1 = pre;
+      self1 = self;
+    }
+    std::ostringstream s1;
+    std::ostringstream s2;
+    s1 << std::fixed << std::setprecision(2)
+       << static_cast<double>(pre1) / static_cast<double>(pre);
+    s2 << std::fixed << std::setprecision(2)
+       << static_cast<double>(self1) / static_cast<double>(self);
+    t.row(members, pre, s1.str(), self, s2.str(),
+          pre <= self ? "PRESCHED" : "SELFSCHED");
+  }
+}
+
+void crossover_note() {
+  // Summarize who wins where (the "shape" result).
+  const sim::Tick pre_u = run_loop(8, false, false);
+  const sim::Tick self_u = run_loop(8, true, false);
+  const sim::Tick pre_s = run_loop(8, false, true);
+  const sim::Tick self_s = run_loop(8, true, true);
+  banner("E5c: scheduling-discipline crossover at 8 members");
+  Table t({"workload", "PRESCHED", "SELFSCHED", "winner"});
+  t.row("uniform", pre_u, self_u, pre_u <= self_u ? "PRESCHED" : "SELFSCHED");
+  t.row("skewed", pre_s, self_s, pre_s <= self_s ? "PRESCHED" : "SELFSCHED");
+  note("uniform work favors PRESCHED (no shared-counter traffic); skew\n"
+       "favors SELFSCHED (dynamic load balance) — the expected crossover.");
+}
+
+void barrier_free_scaling() {
+  banner("E5d: forcesplit + join overhead vs member count (empty region)");
+  Table t({"members", "ticks (empty region)"});
+  for (int members : {1, 2, 4, 8, 18}) {
+    config::Configuration cfg = config::Configuration::simple(1);
+    for (int i = 1; i < members; ++i) {
+      cfg.clusters[0].secondary_pes.push_back(3 + i);
+    }
+    Sim sim(cfg);
+    sim::Tick elapsed = 0;
+    run_main(sim, [&](rt::TaskContext& ctx) {
+      const sim::Tick start = sim.engine.now();
+      ctx.forcesplit([](rt::ForceContext&) {});
+      elapsed = sim.engine.now() - start;
+    });
+    t.row(members, elapsed);
+  }
+  note("split cost grows with members (process creation + end barrier) —\n"
+       "forces pay off only when the region's work amortizes this.");
+}
+
+void BM_Forcesplit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_loop(static_cast<int>(state.range(0)), false, false));
+  }
+}
+BENCHMARK(BM_Forcesplit)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "PISCES 2 reproduction — E5: force speedup (Section 7; "
+               "extension measurements)\n";
+  speedup_table(false);
+  speedup_table(true);
+  crossover_note();
+  barrier_free_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

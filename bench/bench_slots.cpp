@@ -1,0 +1,143 @@
+// E8 (extension) — slots and multiprogramming. Section 5: slots bound the
+// degree of multiprogramming on a PE; Section 9's worked example notes that
+// when PEs 7-15 run forces for BOTH clusters 3 and 4, "the maximum number
+// of simultaneous tasks that might be running on one of these PEs is equal
+// to the sum of the slots allocated in both clusters, 4+4=8". This bench
+// measures both effects.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace pisces;
+using namespace pisces::bench;
+
+namespace {
+
+/// 8 CPU-bound jobs submitted to one cluster with `slots` user slots.
+/// Fewer slots => initiates held, lower multiprogramming, different
+/// makespan/turnaround shape.
+struct SlotResult {
+  sim::Tick makespan = 0;
+  std::uint64_t held = 0;
+};
+
+SlotResult jobs_vs_slots(int slots, int jobs = 8) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.clusters[1].slots = slots;
+  Sim sim(cfg);
+  SlotResult res;
+  sim.rt().register_tasktype("job", [](rt::TaskContext& ctx) {
+    ctx.compute(500'000);
+    ctx.send(rt::Dest::Parent(), "done");
+  });
+  res.makespan = run_main(sim, [&](rt::TaskContext& ctx) {
+    for (int i = 0; i < jobs; ++i) ctx.initiate(rt::Where::Cluster(2), "job");
+    ctx.accept(rt::AcceptSpec{}.of("done", jobs).forever());
+  });
+  res.held = sim.rt().stats().initiates_held;
+  return res;
+}
+
+void slots_table() {
+  banner("E8a: 8 CPU-bound jobs vs user-slot count (one cluster, one PE)");
+  Table t({"slots", "makespan", "initiates held"});
+  for (int slots : {1, 2, 4, 8}) {
+    const SlotResult r = jobs_vs_slots(slots);
+    t.row(slots, r.makespan, r.held);
+  }
+  note("one PE does all the work either way: the makespan barely moves,\n"
+       "but fewer slots queue the initiates at the task controller instead\n"
+       "of multiprogramming them — slots bound memory pressure, not speed.");
+}
+
+/// The Section 9 "4+4=8" case: clusters A and B both use the same
+/// secondary PEs for forces. When both split at once, each force member
+/// PE time-shares two members.
+sim::Tick shared_forces(bool shared) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  if (shared) {
+    cfg.clusters[0].secondary_pes = {7, 8, 9, 10};
+    cfg.clusters[1].secondary_pes = {7, 8, 9, 10};  // same PEs: contention
+  } else {
+    cfg.clusters[0].secondary_pes = {7, 8, 9, 10};
+    cfg.clusters[1].secondary_pes = {11, 12, 13, 14};  // dedicated
+  }
+  Sim sim(cfg);
+  sim.rt().register_tasktype("worker", [](rt::TaskContext& ctx) {
+    ctx.forcesplit([](rt::ForceContext& fc) {
+      fc.presched(1, 40, 1, [&](std::int64_t) { fc.compute(25'000); });
+    });
+    ctx.send(rt::Dest::Parent(), "done");
+  });
+  return run_main(sim, [&](rt::TaskContext& ctx) {
+    ctx.initiate(rt::Where::Cluster(1), "worker");
+    ctx.initiate(rt::Where::Cluster(2), "worker");
+    ctx.accept(rt::AcceptSpec{}.of("done", 2).forever());
+  });
+}
+
+void shared_force_table() {
+  banner("E8b: two clusters forcesplitting at once (Section 9's 4+4=8 case)");
+  const sim::Tick dedicated = shared_forces(false);
+  const sim::Tick shared = shared_forces(true);
+  Table t({"force PEs", "ticks", "slowdown"});
+  t.row("dedicated (7-10 vs 11-14)", dedicated, "1.00");
+  std::ostringstream slow;
+  slow << std::fixed << std::setprecision(2)
+       << static_cast<double>(shared) / static_cast<double>(dedicated);
+  t.row("shared (both on 7-10)", shared, slow.str());
+  note("sharing secondary PEs between clusters multiprograms the force\n"
+       "members (~2x slower here) — the trade Section 9 lets the\n"
+       "programmer make explicitly.");
+}
+
+/// PE loading snapshot while both forces run on shared PEs.
+void loading_snapshot() {
+  banner("E8c: PE loading during the shared-force run");
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.clusters[0].secondary_pes = {7, 8};
+  cfg.clusters[1].secondary_pes = {7, 8};
+  Sim sim(cfg);
+  sim.rt().register_tasktype("worker", [](rt::TaskContext& ctx) {
+    ctx.forcesplit([](rt::ForceContext& fc) {
+      fc.presched(1, 30, 1, [&](std::int64_t) { fc.compute(50'000); });
+    });
+    ctx.send(rt::Dest::Parent(), "done");
+  });
+  sim.rt().register_tasktype("main", [&](rt::TaskContext& ctx) {
+    ctx.initiate(rt::Where::Cluster(1), "worker");
+    ctx.initiate(rt::Where::Cluster(2), "worker");
+    ctx.accept(rt::AcceptSpec{}.of("done", 2).forever());
+  });
+  sim.rt().boot();
+  sim.rt().user_initiate(1, "main");
+  sim.rt().run_for(1'000'000);  // mid-flight
+  Table t({"PE", "live procs", "dispatches"});
+  for (int pe : {3, 4, 7, 8}) {
+    const auto& k = sim.rt().system().kernel(pe);
+    t.row(pe, k.live_count(), k.dispatches());
+  }
+  sim.rt().run();
+  note("PEs 7-8 carry one force member from EACH cluster (live=2): the\n"
+       "paper's 'sum of the slots' multiprogramming bound in action.");
+}
+
+void BM_JobFarm(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jobs_vs_slots(4).makespan);
+  }
+}
+BENCHMARK(BM_JobFarm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "PISCES 2 reproduction — E8: slots and multiprogramming "
+               "(Sections 5, 9; extension measurements)\n";
+  slots_table();
+  shared_force_table();
+  loading_snapshot();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,180 @@
+// heat2d — the paper's motivating application class: "Porting a large
+// existing finite element/structural analysis code" (Section 14). This
+// example solves a 2-D steady-state heat equation (Jacobi relaxation on a
+// plate) in the PISCES 2 style:
+//
+//   * the master owns the plate array and hands out row-band WINDOWS, so
+//     the data moves once, directly to each worker (Section 8);
+//   * each worker runs its relaxation sweeps as a FORCE, with PRESCHED
+//     loops and barriers (Section 7);
+//   * workers exchange halo rows with neighbours via asynchronous
+//     messages (Section 6) and write results back through their windows.
+//
+// Build & run:  ./examples/heat2d [rows cols workers sweeps]
+#include <cmath>
+#include <iostream>
+
+#include "core/runtime.hpp"
+
+using namespace pisces;
+
+int main(int argc, char** argv) {
+  const int rows = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int cols = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int sweeps = argc > 4 ? std::atoi(argv[4]) : 10;
+
+  sim::Engine engine;
+  flex::Machine machine(engine);
+  mmos::System system(machine);
+
+  // One cluster per worker plus one for the master; give each worker
+  // cluster two secondary PEs so its sweep loop runs as a 3-member force.
+  config::Configuration cfg = config::Configuration::simple(workers + 1);
+  cfg.time_limit = 4'000'000'000;
+  {
+    int next_pe = 3 + workers + 1;
+    for (int w = 1; w <= workers; ++w) {
+      auto& cl = cfg.clusters[static_cast<std::size_t>(w)];
+      for (int k = 0; k < 2 && next_pe <= 20; ++k) {
+        cl.secondary_pes.push_back(next_pe++);
+      }
+    }
+  }
+
+  rt::Runtime runtime(system, cfg);
+  runtime.console().set_echo(&std::cout);
+
+  runtime.register_tasktype("worker", [&](rt::TaskContext& ctx) {
+    rt::Window band;
+    rt::TaskId up;
+    rt::TaskId down;
+    ctx.on_message("band", [&](rt::TaskContext&, const rt::Message& m) {
+      band = m.args.at(0).as_window();
+      up = m.args.at(1).as_taskid();
+      down = m.args.at(2).as_taskid();
+    });
+    ctx.send(rt::Dest::Parent(), "hello", {rt::Value(ctx.self())});
+    ctx.accept(rt::AcceptSpec{}.of("band").forever());
+
+    // Fetch my band once, through the window.
+    rt::Matrix mine = ctx.window_read(band);
+    const int br = mine.rows();
+    const int bc = mine.cols();
+    std::vector<double> halo_up(static_cast<std::size_t>(bc), 0.0);
+    std::vector<double> halo_dn(static_cast<std::size_t>(bc), 0.0);
+    ctx.on_message("halo_from_up", [&](rt::TaskContext&, const rt::Message& m) {
+      halo_up = m.args.at(0).as_real_array();
+    });
+    ctx.on_message("halo_from_down", [&](rt::TaskContext&, const rt::Message& m) {
+      halo_dn = m.args.at(0).as_real_array();
+    });
+
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      // Exchange halo rows with the neighbours that exist.
+      int expected = 0;
+      if (up.valid()) {
+        ctx.send(rt::Dest::To(up), "halo_from_down",
+                 {rt::Value(std::vector<double>(
+                     mine.data().begin(),
+                     mine.data().begin() + bc))});
+        ++expected;
+      }
+      if (down.valid()) {
+        ctx.send(rt::Dest::To(down), "halo_from_up",
+                 {rt::Value(std::vector<double>(
+                     mine.data().end() - bc, mine.data().end()))});
+        ++expected;
+      }
+      if (expected > 0) {
+        rt::AcceptSpec spec;
+        if (up.valid()) spec.of("halo_from_up");
+        if (down.valid()) spec.of("halo_from_down");
+        ctx.accept(spec.total(expected).forever());
+      }
+
+      // One Jacobi sweep over the band, as a force (PRESCHED over rows).
+      rt::Matrix next = mine;
+      ctx.forcesplit([&](rt::ForceContext& fc) {
+        fc.presched(0, br - 1, 1, [&](std::int64_t i) {
+          fc.compute(6 * bc);  // 5-point stencil cost per row
+          for (int j = 1; j + 1 < bc; ++j) {
+            const double north =
+                i > 0 ? mine.at(static_cast<int>(i) - 1, j)
+                      : (up.valid() ? halo_up[static_cast<std::size_t>(j)]
+                                    : mine.at(0, j));
+            const double south =
+                i + 1 < br ? mine.at(static_cast<int>(i) + 1, j)
+                           : (down.valid() ? halo_dn[static_cast<std::size_t>(j)]
+                                           : mine.at(br - 1, j));
+            next.at(static_cast<int>(i), j) =
+                0.25 * (north + south + mine.at(static_cast<int>(i), j - 1) +
+                        mine.at(static_cast<int>(i), j + 1));
+          }
+        });
+      });
+      mine = std::move(next);
+    }
+
+    // Write the relaxed band back through the window and report.
+    ctx.window_write(band, mine);
+    double sum = 0;
+    for (double x : mine.data()) sum += x;
+    ctx.send(rt::Dest::Parent(), "done", {rt::Value(sum)});
+  });
+
+  runtime.register_tasktype("master", [&](rt::TaskContext& ctx) {
+    auto& plate = ctx.local_array("plate", rows, cols);
+    // Boundary conditions: hot top edge, cold elsewhere.
+    for (int j = 0; j < cols; ++j) plate.data.at(0, j) = 100.0;
+
+    std::vector<rt::TaskId> kids;
+    ctx.on_message("hello", [&kids](rt::TaskContext&, const rt::Message& m) {
+      kids.push_back(m.args.at(0).as_taskid());
+    });
+    double checksum = 0;
+    ctx.on_message("done", [&checksum](rt::TaskContext&, const rt::Message& m) {
+      checksum += m.args.at(0).as_real();
+    });
+
+    for (int w = 0; w < workers; ++w) {
+      ctx.initiate(rt::Where::Cluster(2 + w), "worker");
+    }
+    ctx.accept(rt::AcceptSpec{}.of("hello", workers).forever());
+
+    // Partition the plate into row bands; the master never copies data —
+    // it only shrinks windows (Section 8's partitioning pattern).
+    const rt::Window whole = ctx.make_window("plate");
+    const int band_rows = rows / workers;
+    for (int w = 0; w < workers; ++w) {
+      const int r0 = w * band_rows;
+      const int nr = (w == workers - 1) ? rows - r0 : band_rows;
+      rt::Window band = whole.shrink(rt::Rect{r0, 0, nr, cols});
+      const rt::TaskId up = w > 0 ? kids[static_cast<std::size_t>(w - 1)] : rt::TaskId{};
+      const rt::TaskId down =
+          w + 1 < workers ? kids[static_cast<std::size_t>(w + 1)] : rt::TaskId{};
+      ctx.send(rt::Dest::To(kids[static_cast<std::size_t>(w)]), "band",
+               {rt::Value(band), rt::Value(up), rt::Value(down)});
+    }
+    ctx.accept(rt::AcceptSpec{}.of("done", workers).forever());
+
+    // The workers wrote their bands back through windows; sample the field.
+    const double mid = ctx.array_data("plate").at(rows / 2, cols / 2);
+    ctx.send(rt::Dest::User(), "relaxed",
+             {rt::Value(checksum), rt::Value(mid)});
+  });
+
+  runtime.boot();
+  runtime.user_initiate(1, "master");
+  const sim::Tick end = runtime.run();
+
+  std::cout << "\n--- heat2d summary (" << rows << "x" << cols << ", " << workers
+            << " workers, " << sweeps << " sweeps) ---\n";
+  std::cout << "virtual time: " << end << " ticks\n";
+  std::cout << "window reads: " << runtime.stats().window_reads
+            << "  window writes: " << runtime.stats().window_writes << "\n";
+  std::cout << "messages sent: " << runtime.stats().messages_sent
+            << "  bytes: " << runtime.stats().message_bytes_sent << "\n";
+  std::cout << "forcesplits: " << runtime.stats().forcesplits << "\n";
+  return runtime.timed_out() ? 1 : 0;
+}

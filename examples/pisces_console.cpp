@@ -1,0 +1,93 @@
+// pisces_console — the full PISCES 2 user experience from Sections 9 and 11:
+// build (or load) a configuration in the configuration environment, then
+// control the run from the execution environment's 10-option menu.
+//
+// Interactive:     ./examples/pisces_console
+// Scripted demo:   ./examples/pisces_console --demo
+#include <iostream>
+#include <sstream>
+
+#include "config/menu.hpp"
+#include "exec/execution_env.hpp"
+
+using namespace pisces;
+
+namespace {
+
+void register_demo_tasktypes(rt::Runtime& runtime) {
+  runtime.register_tasktype("ping", [](rt::TaskContext& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      ctx.compute(50'000);
+      ctx.send(rt::Dest::User(), "ping", {rt::Value(i)});
+    }
+  });
+  runtime.register_tasktype("echoer", [](rt::TaskContext& ctx) {
+    ctx.on_message("echo", [](rt::TaskContext& c, const rt::Message& m) {
+      c.send(rt::Dest::User(), "echoed", {m.args.empty() ? rt::Value(0) : m.args[0]});
+    });
+    while (true) {
+      auto res = ctx.accept(rt::AcceptSpec{}.of("echo").forever());
+      if (res.timed_out) break;
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+
+  // ---- configuration environment ----
+  config::ConfigMenu menu;
+  config::Configuration cfg;
+  if (demo) {
+    std::istringstream script(
+        "name demo\n"
+        "cluster 1\nprimary 1 3\nslots 1 4\n"
+        "cluster 2\nprimary 2 4\nslots 2 4\nsecondaries 2 10-12\n"
+        "terminal 1\n"
+        "validate\n"
+        "done\n");
+    cfg = menu.repl(script, std::cout);
+  } else {
+    std::cout << "Step 1: build a configuration (try: cluster 1 / primary 1 3 /\n"
+                 "slots 1 4 / terminal 1 / validate / done)\n";
+    cfg = menu.repl(std::cin, std::cout);
+    if (cfg.clusters.empty()) {
+      std::cout << "no clusters configured; using simple(2)\n";
+      cfg = config::Configuration::simple(2);
+    }
+  }
+
+  // ---- boot the virtual machine ----
+  sim::Engine engine;
+  flex::Machine machine(engine);
+  mmos::System system(machine);
+  rt::Runtime runtime(system, cfg);
+  register_demo_tasktypes(runtime);
+  runtime.console().set_echo(&std::cout);
+  try {
+    runtime.boot();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  exec::ExecutionEnvironment env(runtime);
+  env.display_organization(std::cout);
+
+  // ---- execution environment ----
+  if (demo) {
+    std::istringstream script(
+        "1\n1 ping\n"
+        "5\n"
+        "8\n"
+        "7\n"
+        "0\n");
+    env.repl(script, std::cout);
+  } else {
+    std::cout << "\nStep 2: drive the run (tasktypes available: ping, echoer)\n";
+    env.repl(std::cin, std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the canonical PISCES 2 program shape from Section 6 of the
+// paper — "an initial phase in which the first group of tasks are initiated,
+// followed by an exchange of messages containing taskid's to establish the
+// communication topology", then work and results back to the user terminal.
+//
+// Build & run:  ./examples/quickstart
+#include <iostream>
+
+#include "core/runtime.hpp"
+
+using namespace pisces;
+
+int main() {
+  // The simulated NASA Langley FLEX/32: 20 PEs, Unix on PEs 1-2.
+  sim::Engine engine;
+  flex::Machine machine(engine);
+  mmos::System system(machine);
+
+  // A run configuration: 3 clusters on PEs 3-5, 4 user slots each,
+  // terminal on cluster 1 (Section 9's "mapping virtual machine to
+  // hardware" — edit this, not the program, to re-map the run).
+  config::Configuration cfg = config::Configuration::simple(3);
+  rt::Runtime runtime(system, cfg);
+  runtime.console().set_echo(&std::cout);
+
+  // TASKTYPE WORKER: announce to parent, wait for work, reply with result.
+  runtime.register_tasktype("worker", [](rt::TaskContext& ctx) {
+    ctx.send(rt::Dest::Parent(), "hello", {rt::Value(ctx.self())});
+    ctx.on_message("work", [](rt::TaskContext& c, const rt::Message& m) {
+      const std::int64_t n = m.args.at(0).as_int();
+      c.compute(1000 * n);  // the application's own work, in ticks
+      c.send(rt::Dest::Sender(), "result", {rt::Value(n * n)});
+    });
+    ctx.accept(rt::AcceptSpec{}.of("work").forever());
+  });
+
+  // TASKTYPE MASTER: initiate workers everywhere, collect taskids, farm
+  // out work, gather results, and report to the user terminal.
+  runtime.register_tasktype("master", [](rt::TaskContext& ctx) {
+    const int n_workers = static_cast<int>(ctx.args().at(0).as_int());
+    std::vector<rt::TaskId> workers;
+    ctx.on_message("hello", [&workers](rt::TaskContext&, const rt::Message& m) {
+      workers.push_back(m.args.at(0).as_taskid());
+    });
+    std::int64_t total = 0;
+    ctx.on_message("result", [&total](rt::TaskContext&, const rt::Message& m) {
+      total += m.args.at(0).as_int();
+    });
+
+    // Phase 1: initiate, then the taskid exchange.
+    for (int i = 0; i < n_workers; ++i) {
+      ctx.initiate(rt::Where::Any(), "worker");
+    }
+    ctx.accept(rt::AcceptSpec{}.of("hello", n_workers).forever());
+
+    // Phase 2: now the topology exists; send work directly.
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      ctx.send(rt::Dest::To(workers[i]), "work",
+               {rt::Value(static_cast<std::int64_t>(i + 1))});
+    }
+    ctx.accept(rt::AcceptSpec{}.of("result", n_workers).forever());
+
+    ctx.send(rt::Dest::User(), "sum_of_squares", {rt::Value(total)});
+  });
+
+  runtime.boot();
+  runtime.user_initiate(1, "master", {rt::Value(6)});
+  const sim::Tick end = runtime.run();
+
+  std::cout << "\n--- run summary ---\n";
+  std::cout << "virtual time: " << end << " ticks\n";
+  std::cout << "tasks started: " << runtime.stats().tasks_started << "\n";
+  std::cout << "messages sent: " << runtime.stats().messages_sent << "\n";
+  std::cout << "message heap peak: " << runtime.message_heap().peak_in_use()
+            << " bytes (now " << runtime.message_heap().in_use() << ")\n";
+  return 0;
+}

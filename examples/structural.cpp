@@ -1,0 +1,145 @@
+// structural — the application Section 14 names as the first target:
+// "Porting a large existing finite element/structural analysis code to the
+// FLEX within the PISCES 2 environment". A small plane-truss static
+// analysis in the PISCES style:
+//
+//   * the element/stiffness data lives on disk as file arrays; workers get
+//     FILE WINDOWS from the file controller (Section 8's uniform access
+//     method for "large arrays on secondary storage");
+//   * element-stiffness assembly is farmed out to one worker per cluster;
+//   * each worker assembles its elements with a FORCE (SELFSCHED — element
+//     costs vary), accumulating into SHARED COMMON under a LOCK;
+//   * the master gathers partial stiffness sums and iterates a few
+//     Jacobi steps of K u = f to estimate displacements.
+//
+// Build & run:  ./examples/structural [elements workers]
+#include <cmath>
+#include <iostream>
+
+#include "core/runtime.hpp"
+
+using namespace pisces;
+
+int main(int argc, char** argv) {
+  const int elements = argc > 1 ? std::atoi(argv[1]) : 96;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int nodes = elements + 1;  // a chain truss
+
+  sim::Engine engine;
+  flex::Machine machine(engine);
+  mmos::System system(machine);
+
+  config::Configuration cfg = config::Configuration::simple(workers + 1);
+  cfg.time_limit = 8'000'000'000;
+  {
+    int next_pe = 3 + workers + 1;
+    for (int w = 1; w <= workers && next_pe + 1 <= 20; ++w) {
+      cfg.clusters[static_cast<std::size_t>(w)].secondary_pes = {next_pe, next_pe + 1};
+      next_pe += 2;
+    }
+  }
+
+  rt::Runtime runtime(system, cfg);
+  runtime.console().set_echo(&std::cout);
+
+  // The "mesh" on disk: element properties (stiffness EA/L per element) and
+  // nodal loads, as file arrays managed by cluster 1's file controller.
+  {
+    fsim::FileStore store;
+    rt::Matrix props(1, elements);
+    for (int e = 0; e < elements; ++e) {
+      props.at(0, e) = 1000.0 + 500.0 * std::sin(0.3 * e);  // varying stiffness
+    }
+    rt::Matrix loads(1, nodes, 0.0);
+    loads.at(0, nodes - 1) = 10.0;  // pull on the free end
+    store.create("element_props", std::move(props));
+    store.create("nodal_loads", std::move(loads));
+    runtime.attach_file_store(1, std::move(store), 1);
+  }
+
+  // Worker: assemble the diagonal/off-diagonal stiffness contributions for
+  // a band of elements read through a file window.
+  runtime.register_tasktype("assembler", [&](rt::TaskContext& ctx) {
+    const int e0 = static_cast<int>(ctx.args().at(0).as_int());
+    const int count = static_cast<int>(ctx.args().at(1).as_int());
+
+    rt::Window all_props = ctx.file_window(1, "element_props");
+    rt::Matrix props = ctx.window_read(all_props.shrink(rt::Rect{0, e0, 1, count}));
+
+    auto& diag = ctx.shared_common("KDIAG", static_cast<std::size_t>(count) + 1);
+    auto& lock = ctx.lock_var("KLOCK");
+
+    ctx.forcesplit([&](rt::ForceContext& fc) {
+      fc.selfsched(0, count - 1, 1, [&](std::int64_t e) {
+        fc.compute(3'000 + 50 * (e % 13));  // element formation cost varies
+        const double k = props.at(0, static_cast<int>(e));
+        // Chain truss: element e couples nodes e and e+1.
+        fc.critical(lock, [&] {
+          diag.raw()[static_cast<std::size_t>(e)] += k;
+          diag.raw()[static_cast<std::size_t>(e) + 1] += k;
+          diag.charge_bulk(fc.proc(), 2);
+        });
+      });
+    });
+
+    // Ship the assembled band diagonal to the master.
+    std::vector<double> out(diag.raw().begin(), diag.raw().end());
+    ctx.send(rt::Dest::Parent(), "band_diag",
+             {rt::Value(e0), rt::Value(std::move(out))});
+  });
+
+  runtime.register_tasktype("master", [&](rt::TaskContext& ctx) {
+    std::vector<double> kdiag(static_cast<std::size_t>(nodes), 0.0);
+    int received = 0;
+    ctx.on_message("band_diag", [&](rt::TaskContext&, const rt::Message& m) {
+      const int e0 = static_cast<int>(m.args.at(0).as_int());
+      const auto& band = m.args.at(1).as_real_array();
+      for (std::size_t i = 0; i < band.size(); ++i) {
+        kdiag[static_cast<std::size_t>(e0) + i] += band[i];
+      }
+      ++received;
+    });
+
+    // Farm out element bands, one assembler per worker cluster.
+    const int per = elements / workers;
+    for (int w = 0; w < workers; ++w) {
+      const int e0 = w * per;
+      const int count = (w == workers - 1) ? elements - e0 : per;
+      ctx.initiate(rt::Where::Cluster(2 + w), "assembler",
+                   {rt::Value(e0), rt::Value(count)});
+    }
+    ctx.accept(rt::AcceptSpec{}.of("band_diag", workers).forever());
+
+    // Loads from disk, then a few Jacobi iterations of K u = f using the
+    // assembled diagonal (fixed end: u0 = 0).
+    rt::Window lw = ctx.file_window(1, "nodal_loads");
+    rt::Matrix f = ctx.window_read(lw);
+    std::vector<double> u(static_cast<std::size_t>(nodes), 0.0);
+    for (int it = 0; it < 50; ++it) {
+      ctx.compute(10 * nodes);
+      for (int n = 1; n < nodes; ++n) {
+        u[static_cast<std::size_t>(n)] =
+            (f.at(0, n) + kdiag[static_cast<std::size_t>(n)] *
+                              u[static_cast<std::size_t>(n)] * 0.0 +
+             1000.0 * u[static_cast<std::size_t>(n - 1)]) /
+            (kdiag[static_cast<std::size_t>(n)] + 1e-9);
+      }
+    }
+    ctx.send(rt::Dest::User(), "tip_displacement",
+             {rt::Value(u[static_cast<std::size_t>(nodes - 1)]),
+              rt::Value(static_cast<std::int64_t>(received))});
+  });
+
+  runtime.boot();
+  runtime.user_initiate(1, "master");
+  const sim::Tick end = runtime.run();
+
+  std::cout << "\n--- structural summary (" << elements << " elements, "
+            << workers << " assembler clusters) ---\n";
+  std::cout << "virtual time: " << end << " ticks\n";
+  std::cout << "file-window reads: " << runtime.stats().window_reads
+            << "  disk transfers: " << machine.disk(1).transfers() << "\n";
+  std::cout << "forcesplits: " << runtime.stats().forcesplits
+            << "  messages: " << runtime.stats().messages_sent << "\n";
+  return runtime.timed_out() ? 1 : 0;
+}

@@ -1,0 +1,183 @@
+#include "config/configuration.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace pisces::config {
+
+const ClusterConfig* Configuration::find_cluster(int number) const {
+  for (const auto& c : clusters) {
+    if (c.number == number) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Configuration::validate(const flex::MachineSpec& spec) const {
+  std::vector<std::string> errors;
+  auto err = [&errors](std::string msg) { errors.push_back(std::move(msg)); };
+
+  if (clusters.empty()) err("configuration has no clusters");
+  const int max_clusters = spec.pe_count - spec.unix_pe_count;
+  if (static_cast<int>(clusters.size()) > max_clusters) {
+    err("more clusters (" + std::to_string(clusters.size()) + ") than MMOS PEs (" +
+        std::to_string(max_clusters) + ")");
+  }
+
+  auto is_mmos = [&spec](int pe) {
+    return pe > spec.unix_pe_count && pe <= spec.pe_count;
+  };
+
+  std::set<int> numbers;
+  std::set<int> primaries;
+  int terminals = 0;
+  for (const auto& c : clusters) {
+    const std::string tag = "cluster " + std::to_string(c.number) + ": ";
+    if (c.number < 1) err(tag + "cluster numbers start at 1");
+    if (!numbers.insert(c.number).second) err(tag + "duplicate cluster number");
+    if (!is_mmos(c.primary_pe)) {
+      err(tag + "primary PE " + std::to_string(c.primary_pe) +
+          " is not an MMOS PE (PEs 1-" + std::to_string(spec.unix_pe_count) +
+          " run Unix only)");
+    }
+    if (!primaries.insert(c.primary_pe).second) {
+      err(tag + "primary PE " + std::to_string(c.primary_pe) +
+          " already primary for another cluster");
+    }
+    if (c.slots < 1) err(tag + "needs at least one user slot");
+    std::set<int> secs;
+    for (int pe : c.secondary_pes) {
+      if (!is_mmos(pe)) {
+        err(tag + "secondary PE " + std::to_string(pe) + " is not an MMOS PE");
+      }
+      if (pe == c.primary_pe) {
+        err(tag + "secondary PE " + std::to_string(pe) +
+            " is the cluster's own primary");
+      }
+      if (!secs.insert(pe).second) {
+        err(tag + "secondary PE " + std::to_string(pe) + " listed twice");
+      }
+    }
+    if (c.has_terminal) ++terminals;
+  }
+  if (!clusters.empty() && terminals == 0) {
+    err("no cluster has a terminal (user controller)");
+  }
+  if (time_limit <= 0) err("time limit must be positive");
+  if (message_heap_bytes < 4096) err("message heap under 4 KB is unusable");
+  if (message_heap_bytes > spec.shared_memory_bytes) {
+    err("message heap exceeds shared memory");
+  }
+  return errors;
+}
+
+void Configuration::save(std::ostream& os) const {
+  os << "pisces-config v1\n";
+  os << "name " << name << "\n";
+  os << "timelimit " << time_limit << "\n";
+  os << "accept-timeout " << accept_default_timeout << "\n";
+  os << "heap " << message_heap_bytes << "\n";
+  os << "loadfile " << loadfile.name << " " << loadfile.mmos_kernel_bytes << " "
+     << loadfile.pisces_code_bytes << " " << loadfile.user_code_bytes << "\n";
+  for (const auto& c : clusters) {
+    os << "cluster " << c.number << " primary " << c.primary_pe << " slots "
+       << c.slots << " terminal " << (c.has_terminal ? 1 : 0) << " secondaries";
+    for (int pe : c.secondary_pes) os << " " << pe;
+    os << "\n";
+  }
+  os << "trace";
+  for (int k = 0; k < trace::kEventKindCount; ++k) {
+    os << " " << (trace.kind_on[static_cast<std::size_t>(k)] ? 1 : 0);
+  }
+  os << "\n";
+  os << "end\n";
+}
+
+Configuration Configuration::load(std::istream& is) {
+  Configuration cfg;
+  cfg.clusters.clear();
+  std::string line;
+  if (!std::getline(is, line) || line != "pisces-config v1") {
+    throw std::runtime_error("Configuration::load: missing 'pisces-config v1' header");
+  }
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    if (key == "end") break;
+    if (key == "name") {
+      ls >> cfg.name;
+    } else if (key == "timelimit") {
+      ls >> cfg.time_limit;
+    } else if (key == "accept-timeout") {
+      ls >> cfg.accept_default_timeout;
+    } else if (key == "heap") {
+      ls >> cfg.message_heap_bytes;
+    } else if (key == "loadfile") {
+      ls >> cfg.loadfile.name >> cfg.loadfile.mmos_kernel_bytes >>
+          cfg.loadfile.pisces_code_bytes >> cfg.loadfile.user_code_bytes;
+    } else if (key == "cluster") {
+      ClusterConfig c;
+      std::string tok;
+      ls >> c.number;
+      while (ls >> tok) {
+        if (tok == "primary") {
+          ls >> c.primary_pe;
+        } else if (tok == "slots") {
+          ls >> c.slots;
+        } else if (tok == "terminal") {
+          int t = 0;
+          ls >> t;
+          c.has_terminal = t != 0;
+        } else if (tok == "secondaries") {
+          int pe = 0;
+          while (ls >> pe) c.secondary_pes.push_back(pe);
+        }
+      }
+      cfg.clusters.push_back(std::move(c));
+    } else if (key == "trace") {
+      for (int k = 0; k < trace::kEventKindCount; ++k) {
+        int on = 0;
+        ls >> on;
+        cfg.trace.kind_on[static_cast<std::size_t>(k)] = on != 0;
+      }
+    } else {
+      throw std::runtime_error("Configuration::load: unknown key '" + key + "'");
+    }
+  }
+  return cfg;
+}
+
+Configuration Configuration::simple(int n_clusters, int slots) {
+  Configuration cfg;
+  cfg.name = "simple" + std::to_string(n_clusters);
+  for (int i = 0; i < n_clusters; ++i) {
+    ClusterConfig c;
+    c.number = i + 1;
+    c.primary_pe = 3 + i;
+    c.slots = slots;
+    c.has_terminal = (i == 0);
+    cfg.clusters.push_back(std::move(c));
+  }
+  return cfg;
+}
+
+Configuration Configuration::section9_example() {
+  Configuration cfg = simple(4, 4);
+  cfg.name = "section9";
+  // "Use PE's 7-15 to run forces for both clusters 3 and 4."
+  for (int pe = 7; pe <= 15; ++pe) {
+    cfg.clusters[2].secondary_pes.push_back(pe);
+    cfg.clusters[3].secondary_pes.push_back(pe);
+  }
+  // "Use PE's 16-20 to run forces for cluster 2."
+  for (int pe = 16; pe <= 20; ++pe) {
+    cfg.clusters[1].secondary_pes.push_back(pe);
+  }
+  // "Allocate no secondary PE's to run forces for cluster 1."
+  return cfg;
+}
+
+}  // namespace pisces::config

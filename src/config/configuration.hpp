@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flex/machine.hpp"
+#include "mmos/loadfile.hpp"
+#include "sim/time.hpp"
+#include "trace/event.hpp"
+
+namespace pisces::config {
+
+/// The mapping of one virtual-machine cluster onto hardware (Section 9):
+/// the primary PE (all user tasks of the cluster run there), the secondary
+/// PEs (run force members after a FORCESPLIT; may be shared with other
+/// clusters), and the number of user-task slots.
+struct ClusterConfig {
+  int number = 0;
+  int primary_pe = 0;
+  std::vector<int> secondary_pes;
+  int slots = 4;
+  bool has_terminal = false;  ///< cluster has a user controller
+};
+
+/// Trace settings stored with the configuration ("The configuration includes
+/// an execution time limit, trace settings for execution monitoring, and
+/// related information", Section 11).
+struct TraceSettings {
+  std::array<bool, trace::kEventKindCount> kind_on{};
+
+  void set(trace::EventKind k, bool on) { kind_on[static_cast<std::size_t>(k)] = on; }
+  [[nodiscard]] bool get(trace::EventKind k) const {
+    return kind_on[static_cast<std::size_t>(k)];
+  }
+};
+
+/// A PISCES 2 run configuration: "A particular mapping is called a
+/// configuration. ... Configurations may be saved on files and reused or
+/// edited as desired for later runs."
+struct Configuration {
+  std::string name = "default";
+  std::vector<ClusterConfig> clusters;
+  sim::Tick time_limit = 100'000'000;
+  sim::Tick accept_default_timeout = 2'000'000;  ///< system DELAY value
+  std::size_t message_heap_bytes = 512 * 1024;   ///< shared-memory message area
+  mmos::Loadfile loadfile;
+  TraceSettings trace;
+
+  [[nodiscard]] const ClusterConfig* find_cluster(int number) const;
+  [[nodiscard]] int cluster_count() const { return static_cast<int>(clusters.size()); }
+
+  /// Validate against a machine description. Returns human-readable
+  /// problems; empty means the configuration is runnable.
+  [[nodiscard]] std::vector<std::string> validate(const flex::MachineSpec& spec) const;
+
+  /// Text round-trip ("Configurations may be saved on files").
+  void save(std::ostream& os) const;
+  static Configuration load(std::istream& is);
+
+  /// A reasonable small default: `n` clusters on consecutive MMOS PEs,
+  /// `slots` user slots each, terminal on the first cluster, no forces.
+  static Configuration simple(int n_clusters, int slots = 4);
+
+  /// The Section 9 worked example: clusters 1-4 on PEs 3-6, 4 slots each;
+  /// PEs 7-15 run forces for clusters 3 and 4; PEs 16-20 run forces for
+  /// cluster 2; cluster 1 gets no secondaries.
+  static Configuration section9_example();
+};
+
+}  // namespace pisces::config

@@ -1,0 +1,137 @@
+#include "config/menu.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pisces::config {
+
+namespace {
+/// Parse PE tokens like "7" or "7-15" into a list.
+bool parse_pe_list(std::istringstream& is, std::vector<int>* out) {
+  std::string tok;
+  while (is >> tok) {
+    const auto dash = tok.find('-');
+    try {
+      if (dash == std::string::npos) {
+        out->push_back(std::stoi(tok));
+      } else {
+        const int lo = std::stoi(tok.substr(0, dash));
+        const int hi = std::stoi(tok.substr(dash + 1));
+        if (hi < lo) return false;
+        for (int pe = lo; pe <= hi; ++pe) out->push_back(pe);
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+ClusterConfig* ConfigMenu::find_or_add(int number, std::ostream& out) {
+  for (auto& c : cfg_.clusters) {
+    if (c.number == number) return &c;
+  }
+  if (number < 1) {
+    out << "cluster numbers start at 1\n";
+    return nullptr;
+  }
+  ClusterConfig c;
+  c.number = number;
+  c.primary_pe = spec_.first_mmos_pe() + static_cast<int>(cfg_.clusters.size());
+  cfg_.clusters.push_back(c);
+  return &cfg_.clusters.back();
+}
+
+bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
+  std::istringstream is(line);
+  std::string cmd;
+  if (!(is >> cmd)) return true;
+  if (cmd == "done") return false;
+
+  if (cmd == "name") {
+    is >> cfg_.name;
+  } else if (cmd == "cluster") {
+    int n = 0;
+    if (is >> n) find_or_add(n, out);
+    else out << "usage: cluster <n>\n";
+  } else if (cmd == "primary") {
+    int n = 0;
+    int pe = 0;
+    if (is >> n >> pe) {
+      if (auto* c = find_or_add(n, out)) c->primary_pe = pe;
+    } else {
+      out << "usage: primary <cluster> <pe>\n";
+    }
+  } else if (cmd == "secondaries") {
+    int n = 0;
+    std::vector<int> pes;
+    if (is >> n && parse_pe_list(is, &pes)) {
+      if (auto* c = find_or_add(n, out)) c->secondary_pes = std::move(pes);
+    } else {
+      out << "usage: secondaries <cluster> <pe|lo-hi>...\n";
+    }
+  } else if (cmd == "slots") {
+    int n = 0;
+    int count = 0;
+    if (is >> n >> count) {
+      if (auto* c = find_or_add(n, out)) c->slots = count;
+    } else {
+      out << "usage: slots <cluster> <count>\n";
+    }
+  } else if (cmd == "terminal") {
+    int n = 0;
+    if (is >> n) {
+      for (auto& c : cfg_.clusters) c.has_terminal = false;
+      if (auto* c = find_or_add(n, out)) c->has_terminal = true;
+    } else {
+      out << "usage: terminal <cluster>\n";
+    }
+  } else if (cmd == "timelimit") {
+    is >> cfg_.time_limit;
+  } else if (cmd == "heap") {
+    is >> cfg_.message_heap_bytes;
+  } else if (cmd == "trace") {
+    std::string kind;
+    std::string setting;
+    if (is >> kind >> setting) {
+      bool found = false;
+      for (int k = 0; k < trace::kEventKindCount; ++k) {
+        const auto ek = static_cast<trace::EventKind>(k);
+        if (trace::kind_name(ek) == kind) {
+          cfg_.trace.set(ek, setting == "on");
+          found = true;
+        }
+      }
+      if (!found) out << "unknown event kind '" << kind << "'\n";
+    } else {
+      out << "usage: trace <kind> on|off\n";
+    }
+  } else if (cmd == "show") {
+    cfg_.save(out);
+  } else if (cmd == "validate") {
+    auto errors = cfg_.validate(spec_);
+    if (errors.empty()) {
+      out << "configuration OK\n";
+    } else {
+      for (const auto& e : errors) out << "error: " << e << "\n";
+    }
+  } else {
+    out << "unknown command '" << cmd << "'\n";
+  }
+  return true;
+}
+
+Configuration ConfigMenu::repl(std::istream& in, std::ostream& out) {
+  out << "PISCES CONFIGURATION ENVIRONMENT (type 'done' to finish)\n";
+  std::string line;
+  while (true) {
+    out << "config> " << std::flush;
+    if (!std::getline(in, line)) break;
+    if (!apply(line, out)) break;
+  }
+  return cfg_;
+}
+
+}  // namespace pisces::config

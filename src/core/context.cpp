@@ -1,0 +1,391 @@
+#include "core/context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/runtime.hpp"
+#include "fsim/file_store.hpp"
+
+namespace pisces::rt {
+
+namespace {
+/// RAII reset for the in-ACCEPT flag (handlers must not nest ACCEPTs).
+struct AcceptGuard {
+  bool* flag;
+  explicit AcceptGuard(bool* f) : flag(f) { *flag = true; }
+  ~AcceptGuard() { *flag = false; }
+};
+}  // namespace
+
+// ---- INITIATE ----
+
+void TaskContext::initiate(Where where, std::string tasktype,
+                           std::vector<Value> args) {
+  const int target = rt_->resolve_where(where, cluster());
+  proc_->compute(rt_->costs().initiate_overhead);
+  ++rt_->stats_.initiates_requested;
+  rt_->post(self(), proc_, rt_->cluster(target).controller_id(), "_INITIATE",
+            {Value(std::move(tasktype)), Value::list(std::move(args))});
+}
+
+// ---- SEND ----
+
+TaskId TaskContext::resolve(const Dest& dest) const {
+  switch (dest.kind) {
+    case Dest::Kind::parent: return rec_->parent;
+    case Dest::Kind::self: return rec_->id;
+    case Dest::Kind::sender: return sender_;
+    case Dest::Kind::user: return rt_->user_controller_id();
+    case Dest::Kind::task: return dest.id;
+    case Dest::Kind::tcontr: return rt_->cluster(dest.cluster).controller_id();
+  }
+  return {};
+}
+
+bool TaskContext::send(Dest dest, std::string type, std::vector<Value> args) {
+  proc_->compute(rt_->costs().msg_send_overhead);
+  const TaskId to = resolve(dest);
+  if (!to.valid()) {
+    ++rt_->stats_.dead_letters;
+    return false;
+  }
+  return rt_->post(self(), proc_, to, std::move(type), std::move(args));
+}
+
+int TaskContext::broadcast(std::string type, std::vector<Value> args,
+                           std::optional<int> cluster_number) {
+  int delivered = 0;
+  for (const auto& cl : rt_->clusters_) {
+    if (cluster_number.has_value() && cl->cfg.number != *cluster_number) continue;
+    for (std::size_t s = kFirstUserSlot; s < cl->slots.size(); ++s) {
+      const TaskRecord& r = *cl->slots[s];
+      if (r.state == TaskState::free_slot || r.id == self()) continue;
+      proc_->compute(rt_->costs().msg_send_overhead);
+      if (rt_->post(self(), proc_, r.id, type, args)) ++delivered;
+    }
+  }
+  rt_->stats_.broadcast_copies += static_cast<std::uint64_t>(delivered);
+  return delivered;
+}
+
+void TaskContext::print(const std::string& text) {
+  send(Dest::User(), "_PRINT", {Value(text)});
+}
+
+// ---- ACCEPT ----
+
+void TaskContext::on_message(std::string type, Handler handler) {
+  handlers_[std::move(type)] = std::move(handler);
+}
+
+void TaskContext::consume(Message msg, AcceptResult& res) {
+  proc_->compute(rt_->costs().msg_accept_overhead + rt_->costs().heap_free);
+  rt_->heap_release(msg.heap_offset);
+  sender_ = msg.sender;
+  ++rt_->stats_.messages_accepted;
+  ++res.accepted[msg.type];
+  rt_->trace_event(trace::EventKind::msg_accept, self(), msg.sender, proc_->pe(),
+                   msg.seq, msg.type);
+  auto it = handlers_.find(msg.type);
+  if (it != handlers_.end()) it->second(*this, msg);
+}
+
+AcceptResult TaskContext::accept(AcceptSpec spec) {
+  if (in_accept_) {
+    throw std::logic_error("ACCEPT executed inside a message handler");
+  }
+  if (spec.types.empty()) {
+    throw std::invalid_argument("ACCEPT lists no message types");
+  }
+  for (std::size_t i = 0; i < spec.types.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.types.size(); ++j) {
+      if (spec.types[i].type == spec.types[j].type) {
+        throw std::invalid_argument("ACCEPT lists message type '" +
+                                    spec.types[i].type + "' twice");
+      }
+    }
+  }
+  AcceptGuard guard(&in_accept_);
+  AcceptResult res;
+
+  const bool only_all = std::all_of(spec.types.begin(), spec.types.end(),
+                                    [](const auto& t) { return t.all; });
+
+  // Count toward the targets only messages of listed types.
+  auto listed_total = [&res, &spec] {
+    int n = 0;
+    for (const auto& [type, k] : res.accepted) {
+      if (spec.lists(type)) n += k;
+    }
+    return n;
+  };
+  auto satisfied = [&] {
+    if (spec.total_count.has_value()) return listed_total() >= *spec.total_count;
+    for (const auto& t : spec.types) {
+      if (!t.all && res.count(t.type) < t.count) return false;
+    }
+    return true;
+  };
+  auto wants = [&](const std::string& type) {
+    for (const auto& t : spec.types) {
+      if (t.type != type) continue;
+      if (t.all) return true;
+      if (spec.total_count.has_value()) {
+        return listed_total() < *spec.total_count;
+      }
+      return res.count(type) < t.count;
+    }
+    return false;
+  };
+  auto scan = [&] {
+    auto& q = rec_->in_queue;
+    std::size_t i = 0;
+    while (i < q.size()) {
+      if (wants(q[i].type)) {
+        Message m = std::move(q[i]);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        consume(std::move(m), res);  // handlers may push to the queue's back
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  const sim::Tick deadline =
+      spec.no_timeout
+          ? sim::kForever
+          : rt_->engine().now() +
+                spec.delay.value_or(rt_->cfg_.accept_default_timeout);
+
+  while (true) {
+    scan();
+    if (only_all || satisfied()) break;
+    rec_->waiting_in_accept = true;
+    const bool timed_out = proc_->block_with_timeout(deadline);
+    rec_->waiting_in_accept = false;
+    if (timed_out) {
+      res.timed_out = true;
+      ++rt_->stats_.accept_timeouts;
+      if (spec.on_delay) {
+        spec.on_delay();  // DELAY ... THEN <statement sequence>
+      } else {
+        res.accepted[kTimeoutType] = 1;  // system-generated timeout message
+      }
+      break;
+    }
+  }
+  return res;
+}
+
+Message TaskContext::wait_any_message() {
+  while (rec_->in_queue.empty()) proc_->block();
+  Message m = std::move(rec_->in_queue.front());
+  rec_->in_queue.pop_front();
+  proc_->compute(rt_->costs().msg_accept_overhead + rt_->costs().heap_free);
+  rt_->heap_release(m.heap_offset);
+  sender_ = m.sender;
+  ++rt_->stats_.messages_accepted;
+  rt_->trace_event(trace::EventKind::msg_accept, self(), m.sender, proc_->pe(),
+                   m.seq, m.type);
+  return m;
+}
+
+Message TaskContext::wait_reply(std::uint64_t request_id) {
+  while (true) {
+    auto& q = rec_->replies;
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (!it->args.empty() && it->args[0].is_int() &&
+          it->args[0].as_int() == static_cast<std::int64_t>(request_id)) {
+        Message m = std::move(*it);
+        q.erase(it);
+        proc_->compute(rt_->costs().msg_accept_overhead + rt_->costs().heap_free);
+        rt_->heap_release(m.heap_offset);
+        return m;
+      }
+    }
+    proc_->block();
+  }
+}
+
+// ---- forces ----
+
+void TaskContext::forcesplit(const std::function<void(ForceContext&)>& region) {
+  Cluster& cl = rt_->cluster(cluster());
+  const auto& secondaries = cl.cfg.secondary_pes;
+  const int n = 1 + static_cast<int>(secondaries.size());
+  ++rt_->stats_.forcesplits;
+  rt_->trace_event(trace::EventKind::force_split, self(), {}, proc_->pe(), 0,
+                   "members=" + std::to_string(n));
+  proc_->compute(rt_->costs().forcesplit_per_member * n);
+
+  auto st = std::make_shared<ForceState>();
+  st->members = n;
+  st->rec = rec_;
+  st->procs.assign(static_cast<std::size_t>(n), nullptr);
+  st->procs[0] = proc_;
+
+  std::vector<mmos::Proc*> members;
+  for (int i = 2; i <= n; ++i) {
+    const int pe = secondaries[static_cast<std::size_t>(i - 2)];
+    // Capture rt/rec by value, never `this`: if the primary is killed, the
+    // members must not touch its (unwound) TaskContext.
+    auto& p = rt_->system().kernel(pe).create_process(
+        rec_->tasktype + "#f" + std::to_string(i),
+        [rt = rt_, rec = rec_, st, i, region](mmos::Proc& mp) {
+          ForceContext member_ctx(*rt, *rec, st, i, mp);
+          region(member_ctx);
+          member_ctx.barrier();  // implicit end-of-region barrier
+        });
+    st->procs[static_cast<std::size_t>(i - 1)] = &p;
+    mmos::Proc* primary = proc_;
+    p.on_exit([primary] { primary->wake(); });
+    members.push_back(&p);
+  }
+  // Record the members so finish_task can reap them if this task is
+  // killed mid-force (otherwise they would block at the barrier forever).
+  rec_->force_members = members;
+
+  ForceContext fc(*rt_, *rec_, st, 1, *proc_);
+  region(fc);
+  fc.barrier();  // implicit end-of-region barrier
+
+  // Join: the force's resources (ForceState, this frame) must outlive every
+  // member; wait for the secondary processes to fully exit.
+  for (auto* p : members) {
+    while (!p->finished()) proc_->block();
+  }
+  rec_->force_members.clear();
+}
+
+SharedBlock& TaskContext::shared_common(const std::string& name,
+                                        std::size_t words) {
+  auto& slot = rec_->shared_blocks[name];
+  if (!slot) slot = std::make_unique<SharedBlock>(*rt_, name, words);
+  if (slot->words() != words) {
+    throw std::logic_error("SHARED COMMON /" + name + "/ redeclared with size " +
+                           std::to_string(words) + " (was " +
+                           std::to_string(slot->words()) + ")");
+  }
+  return *slot;
+}
+
+LockVar& TaskContext::lock_var(const std::string& name) {
+  auto& slot = rec_->locks[name];
+  if (!slot) slot = std::make_unique<LockVar>(*rt_, name);
+  return *slot;
+}
+
+// ---- windows ----
+
+LocalArray& TaskContext::local_array(const std::string& name, int rows, int cols) {
+  auto it = rec_->array_names.find(name);
+  if (it != rec_->array_names.end()) {
+    LocalArray& la = rec_->arrays.at(it->second);
+    if (la.data.rows() != rows || la.data.cols() != cols) {
+      throw std::logic_error("local array '" + name + "' redeclared with a new shape");
+    }
+    return la;
+  }
+  const std::uint32_t id = rec_->next_array_id++;
+  rec_->array_names[name] = id;
+  LocalArray& la = rec_->arrays[id];
+  la.id = id;
+  la.name = name;
+  la.data = Matrix(rows, cols);
+  return la;
+}
+
+Matrix& TaskContext::array_data(const std::string& name) {
+  auto it = rec_->array_names.find(name);
+  if (it == rec_->array_names.end()) {
+    throw WindowError("no local array '" + name + "'");
+  }
+  return rec_->arrays.at(it->second).data;
+}
+
+Window TaskContext::make_window(const std::string& array_name) const {
+  auto it = rec_->array_names.find(array_name);
+  if (it == rec_->array_names.end()) {
+    throw WindowError("no local array '" + array_name + "'");
+  }
+  const LocalArray& la = rec_->arrays.at(it->second);
+  Window w;
+  w.owner = rec_->id;
+  w.array = la.id;
+  w.rect = Rect{0, 0, la.data.rows(), la.data.cols()};
+  w.array_rows = la.data.rows();
+  w.array_cols = la.data.cols();
+  return w;
+}
+
+Window TaskContext::file_window(int cluster_number, const std::string& file_array) {
+  Cluster& cl = rt_->cluster(cluster_number);
+  const TaskId fc = cl.slot(kFileControllerSlot).id;
+  if (!fc.valid()) {
+    throw WindowError("cluster " + std::to_string(cluster_number) +
+                      " has no file controller");
+  }
+  const std::uint64_t rid = ++rt_->next_request_id_;
+  proc_->compute(rt_->costs().msg_send_overhead);
+  rt_->post(self(), proc_, fc, "_FWIN",
+            {Value(static_cast<std::int64_t>(rid)), Value(file_array)});
+  Message rep = wait_reply(rid);
+  if (rep.type == "_WINERR") throw WindowError(rep.args.at(1).as_str());
+  return rep.args.at(1).as_window();
+}
+
+Matrix TaskContext::window_read(const Window& w) {
+  if (!w.valid()) throw WindowError("reading through an invalid window");
+  if (w.owner == self()) {
+    auto it = rec_->arrays.find(w.array);
+    if (it == rec_->arrays.end()) throw WindowError("window names a dropped array");
+    proc_->compute(static_cast<sim::Tick>(w.elements()) *
+                   rt_->costs().local_access * 2);
+    return fsim::copy_rect(it->second.data, w.rect);
+  }
+  const TaskId service = w.is_file_window()
+                             ? w.owner
+                             : rt_->cluster(w.owner.cluster).controller_id();
+  const std::uint64_t rid = ++rt_->next_request_id_;
+  proc_->compute(rt_->costs().msg_send_overhead);
+  if (!rt_->post(self(), proc_, service, "_WINREAD",
+                 {Value(static_cast<std::int64_t>(rid)), Value(w)})) {
+    throw WindowError("window service unreachable for " + w.owner.str());
+  }
+  Message rep = wait_reply(rid);
+  if (rep.type == "_WINERR") throw WindowError(rep.args.at(1).as_str());
+  Matrix out(w.rect.rows, w.rect.cols);
+  const auto& data = rep.args.at(1).as_real_array();
+  if (data.size() != out.size()) throw WindowError("window read size mismatch");
+  out.data() = data;
+  return out;
+}
+
+void TaskContext::window_write(const Window& w, const Matrix& data) {
+  if (!w.valid()) throw WindowError("writing through an invalid window");
+  if (data.rows() != w.rect.rows || data.cols() != w.rect.cols) {
+    throw WindowError("window write: data shape does not match the window");
+  }
+  if (w.owner == self()) {
+    auto it = rec_->arrays.find(w.array);
+    if (it == rec_->arrays.end()) throw WindowError("window names a dropped array");
+    proc_->compute(static_cast<sim::Tick>(w.elements()) *
+                   rt_->costs().local_access * 2);
+    fsim::paste_rect(it->second.data, w.rect, data);
+    return;
+  }
+  const TaskId service = w.is_file_window()
+                             ? w.owner
+                             : rt_->cluster(w.owner.cluster).controller_id();
+  const std::uint64_t rid = ++rt_->next_request_id_;
+  proc_->compute(rt_->costs().msg_send_overhead);
+  if (!rt_->post(self(), proc_, service, "_WINWRITE",
+                 {Value(static_cast<std::int64_t>(rid)), Value(w),
+                  Value(std::vector<double>(data.data()))})) {
+    throw WindowError("window service unreachable for " + w.owner.str());
+  }
+  Message rep = wait_reply(rid);
+  if (rep.type == "_WINERR") throw WindowError(rep.args.at(1).as_str());
+}
+
+}  // namespace pisces::rt

@@ -1,0 +1,173 @@
+#include "core/force.hpp"
+
+#include <stdexcept>
+
+#include "core/runtime.hpp"
+
+namespace pisces::rt {
+
+// ---- SharedBlock ----
+
+SharedBlock::SharedBlock(Runtime& rt, std::string name, std::size_t words)
+    : rt_(&rt), name_(std::move(name)), data_(words, 0.0) {
+  auto off = rt_->common_heap_->allocate(words * 8);
+  if (!off.has_value()) {
+    throw flex::OutOfMemory("SHARED COMMON area exhausted allocating /" + name_ +
+                            "/ (" + std::to_string(words * 8) + " bytes)");
+  }
+  heap_offset_ = *off;
+}
+
+SharedBlock::~SharedBlock() { rt_->common_heap_->release(heap_offset_); }
+
+double SharedBlock::read(mmos::Proc& p, std::size_t idx) {
+  rt_->charge_shared(p, 8);
+  return data_.at(idx);
+}
+
+void SharedBlock::write(mmos::Proc& p, std::size_t idx, double v) {
+  rt_->charge_shared(p, 8);
+  data_.at(idx) = v;
+}
+
+void SharedBlock::charge_bulk(mmos::Proc& p, std::size_t words) {
+  rt_->charge_shared(p, words * 8);
+}
+
+// ---- LockVar ----
+
+void LockVar::acquire(mmos::Proc& p, const TaskRecord& rec) {
+  p.compute(rt_->costs().lock_op);
+  rt_->charge_shared(p, 8);
+  if (locked_) {
+    ++contended_;
+    waiters_.push_back(&p);
+    while (owner_ != &p) p.block();
+  } else {
+    locked_ = true;
+    owner_ = &p;
+  }
+  rt_->trace_event(trace::EventKind::lock, rec.id, {}, p.pe(), 0, name_);
+}
+
+void LockVar::release(mmos::Proc& p, const TaskRecord& rec) {
+  if (owner_ != &p) {
+    throw std::logic_error("LOCK " + name_ + " released by a non-owner");
+  }
+  p.compute(rt_->costs().lock_op);
+  rt_->charge_shared(p, 8);
+  if (waiters_.empty()) {
+    locked_ = false;
+    owner_ = nullptr;
+  } else {
+    owner_ = waiters_.front();
+    waiters_.pop_front();
+    owner_->wake();
+  }
+  rt_->trace_event(trace::EventKind::unlock, rec.id, {}, p.pe(), 0, name_);
+}
+
+// ---- ForceState ----
+
+ForceState::SelfschedLoop& ForceState::loop(std::size_t occurrence,
+                                            std::int64_t total) {
+  while (loops.size() <= occurrence) loops.push_back(nullptr);
+  auto& slot = loops[occurrence];
+  if (!slot) {
+    slot = std::make_unique<SelfschedLoop>();
+    slot->total = total;
+  } else if (slot->total != total) {
+    throw std::logic_error(
+        "SELFSCHED loops diverged between force members (occurrence " +
+        std::to_string(occurrence) + ")");
+  }
+  return *slot;
+}
+
+// ---- ForceContext ----
+
+std::int64_t ForceContext::iteration_count(std::int64_t lo, std::int64_t hi,
+                                           std::int64_t step) {
+  if (step == 0) throw std::invalid_argument("DO loop step of zero");
+  if (step > 0) return lo > hi ? 0 : (hi - lo) / step + 1;
+  return lo < hi ? 0 : (lo - hi) / (-step) + 1;
+}
+
+void ForceContext::barrier(const std::function<void(ForceContext&)>& body) {
+  rt_->trace_event(trace::EventKind::barrier_enter, rec_->id, {}, proc_->pe(), 0,
+                   "member=" + std::to_string(member_));
+  proc_->compute(rt_->costs().barrier_op);
+  rt_->charge_shared(*proc_, 8);  // arrival counter update
+  const std::uint64_t my_gen = st_->barrier_generation;
+  ++st_->barrier_arrived;
+  if (member_ == 1) {
+    while (st_->barrier_arrived < st_->members) proc_->block();
+    if (body) body(*this);
+    st_->barrier_arrived = 0;
+    ++st_->barrier_generation;
+    for (int i = 1; i < st_->members; ++i) st_->procs[static_cast<std::size_t>(i)]->wake();
+  } else {
+    if (st_->barrier_arrived == st_->members) st_->procs[0]->wake();
+    while (st_->barrier_generation == my_gen) proc_->block();
+  }
+}
+
+void ForceContext::critical(LockVar& lock, const std::function<void()>& body) {
+  lock.acquire(*proc_, *rec_);
+  try {
+    body();
+  } catch (...) {
+    lock.release(*proc_, *rec_);
+    throw;
+  }
+  lock.release(*proc_, *rec_);
+}
+
+void ForceContext::presched(std::int64_t lo, std::int64_t hi, std::int64_t step,
+                            const std::function<void(std::int64_t)>& body) {
+  const std::int64_t m = iteration_count(lo, hi, step);
+  for (std::int64_t k = member_ - 1; k < m; k += st_->members) {
+    body(lo + k * step);
+  }
+}
+
+void ForceContext::selfsched(std::int64_t lo, std::int64_t hi, std::int64_t step,
+                             const std::function<void(std::int64_t)>& body) {
+  const std::int64_t m = iteration_count(lo, hi, step);
+  auto& loop = st_->loop(selfsched_seq_++, m);
+  while (true) {
+    // Fetch-and-increment of the shared "next iteration" counter.
+    proc_->compute(rt_->costs().lock_op);
+    rt_->charge_shared(*proc_, 8);
+    const std::int64_t k = loop.next++;
+    if (k >= m) break;
+    body(lo + k * step);
+  }
+}
+
+void ForceContext::parseg(const std::vector<std::function<void()>>& segments) {
+  const auto n = static_cast<std::int64_t>(segments.size());
+  for (std::int64_t k = member_ - 1; k < n; k += st_->members) {
+    segments[static_cast<std::size_t>(k)]();
+  }
+}
+
+SharedBlock& ForceContext::shared_common(const std::string& name,
+                                         std::size_t words) {
+  auto& slot = rec_->shared_blocks[name];
+  if (!slot) slot = std::make_unique<SharedBlock>(*rt_, name, words);
+  if (slot->words() != words) {
+    throw std::logic_error("SHARED COMMON /" + name + "/ redeclared with size " +
+                           std::to_string(words) + " (was " +
+                           std::to_string(slot->words()) + ")");
+  }
+  return *slot;
+}
+
+LockVar& ForceContext::lock_var(const std::string& name) {
+  auto& slot = rec_->locks[name];
+  if (!slot) slot = std::make_unique<LockVar>(*rt_, name);
+  return *slot;
+}
+
+}  // namespace pisces::rt

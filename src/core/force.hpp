@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mmos/proc.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::rt {
+
+class Runtime;
+struct TaskRecord;
+
+/// A SHARED COMMON block (Section 7): "An ordinary Fortran COMMON block,
+/// but allocated in shared memory so that all force members see the same
+/// block." Element accesses through read/write charge shared-memory and bus
+/// costs; raw() gives unmetered access for initialization, paired with
+/// charge_bulk() to account a whole transfer at once.
+class SharedBlock {
+ public:
+  SharedBlock(Runtime& rt, std::string name, std::size_t words);
+  ~SharedBlock();
+  SharedBlock(const SharedBlock&) = delete;
+  SharedBlock& operator=(const SharedBlock&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t words() const { return data_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * 8; }
+
+  /// Metered element access from a force member.
+  [[nodiscard]] double read(mmos::Proc& p, std::size_t idx);
+  void write(mmos::Proc& p, std::size_t idx, double v);
+
+  /// Unmetered view; use charge_bulk() to account the traffic explicitly.
+  [[nodiscard]] std::span<double> raw() { return data_; }
+  /// Charge the cost of moving `words` 64-bit words through shared memory.
+  void charge_bulk(mmos::Proc& p, std::size_t words);
+
+ private:
+  Runtime* rt_;
+  std::string name_;
+  std::vector<double> data_;
+  std::size_t heap_offset_ = 0;
+};
+
+/// A LOCK variable (Section 7): "Variables whose values are 'locks' that may
+/// be used to control entry and exit of CRITICAL statements." FIFO handoff;
+/// lock/unlock events are traced.
+class LockVar {
+ public:
+  LockVar(Runtime& rt, std::string name) : rt_(&rt), name_(std::move(name)) {}
+
+  /// Block until the lock is held by `p`.
+  void acquire(mmos::Proc& p, const TaskRecord& rec);
+  /// Release; ownership passes to the longest-waiting acquirer, if any.
+  void release(mmos::Proc& p, const TaskRecord& rec);
+
+  [[nodiscard]] bool locked() const { return locked_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t contended_acquires() const { return contended_; }
+
+ private:
+  Runtime* rt_;
+  std::string name_;
+  bool locked_ = false;
+  mmos::Proc* owner_ = nullptr;
+  std::deque<mmos::Proc*> waiters_;
+  std::uint64_t contended_ = 0;
+};
+
+/// State shared by the members of one force (one FORCESPLIT execution).
+struct ForceState {
+  int members = 1;
+  TaskRecord* rec = nullptr;
+  std::vector<mmos::Proc*> procs;  ///< index 0 = primary
+
+  // Central barrier.
+  int barrier_arrived = 0;
+  std::uint64_t barrier_generation = 0;
+
+  // Self-scheduled loop occurrences, in program order. All members must
+  // execute the same sequence of SELFSCHED loops (Jordan's force model).
+  struct SelfschedLoop {
+    std::int64_t next = 0;
+    std::int64_t total = 0;
+  };
+  std::vector<std::unique_ptr<SelfschedLoop>> loops;
+
+  SelfschedLoop& loop(std::size_t occurrence, std::int64_t total);
+};
+
+/// The API available to a force member inside a forcesplit region. Mirrors
+/// the Pisces Fortran force constructs: BARRIER, CRITICAL, PRESCHED DO,
+/// SELFSCHED DO, PARSEG, SHARED COMMON, LOCK.
+class ForceContext {
+ public:
+  ForceContext(Runtime& rt, TaskRecord& rec, std::shared_ptr<ForceState> st,
+               int member, mmos::Proc& proc)
+      : rt_(&rt), rec_(&rec), st_(std::move(st)), member_(member), proc_(&proc) {}
+
+  /// 1-based member index; member 1 is the primary (the original task).
+  [[nodiscard]] int member() const { return member_; }
+  [[nodiscard]] int members() const { return st_->members; }
+  [[nodiscard]] bool is_primary() const { return member_ == 1; }
+  [[nodiscard]] mmos::Proc& proc() { return *proc_; }
+
+  /// Consume CPU on this member's PE.
+  void compute(sim::Tick ticks) { proc_->compute(ticks); }
+
+  /// BARRIER ... END BARRIER: all members pause; when all have arrived the
+  /// *primary* executes `body` (may be null), then all continue.
+  void barrier(const std::function<void(ForceContext&)>& body = nullptr);
+
+  /// CRITICAL <lock> ... END CRITICAL.
+  void critical(LockVar& lock, const std::function<void()>& body);
+
+  /// PRESCHED DO: "in a force of N members, each member should take 1/N of
+  /// the loop iterations. The Ith force member takes iterations I, N+I,
+  /// 2*N+I, etc." Iterates i = lo, lo+step, ... while i <= hi (step > 0) or
+  /// i >= hi (step < 0).
+  void presched(std::int64_t lo, std::int64_t hi, std::int64_t step,
+                const std::function<void(std::int64_t)>& body);
+
+  /// SELFSCHED DO: "each force member takes the 'next' iteration when it
+  /// arrives at the loop ... until all iterations are complete."
+  void selfsched(std::int64_t lo, std::int64_t hi, std::int64_t step,
+                 const std::function<void(std::int64_t)>& body);
+
+  /// PARSEG / NEXTSEG / ENDSEG: parallel segments, distributed to members
+  /// like a prescheduled loop over segment indices.
+  void parseg(const std::vector<std::function<void()>>& segments);
+
+  /// SHARED COMMON and LOCK declarations (delegate to the task's registry,
+  /// so any member — or the task before splitting — may declare them).
+  SharedBlock& shared_common(const std::string& name, std::size_t words);
+  LockVar& lock_var(const std::string& name);
+
+ private:
+  friend class TaskContext;
+
+  static std::int64_t iteration_count(std::int64_t lo, std::int64_t hi,
+                                      std::int64_t step);
+
+  Runtime* rt_;
+  TaskRecord* rec_;
+  std::shared_ptr<ForceState> st_;
+  int member_;
+  mmos::Proc* proc_;
+  std::size_t selfsched_seq_ = 0;
+};
+
+}  // namespace pisces::rt

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pisces::rt {
+
+/// The paper's taskid: "<cluster number, slot number, unique number> where
+/// the unique number distinguishes tasks that have run at different times in
+/// the same slot." Taskids are ordinary data values — storable in variables,
+/// passable in messages.
+struct TaskId {
+  int cluster = 0;
+  int slot = -1;
+  std::uint64_t unique = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return unique != 0; }
+  friend constexpr auto operator<=>(const TaskId&, const TaskId&) = default;
+
+  [[nodiscard]] std::string str() const {
+    return "(" + std::to_string(cluster) + "," + std::to_string(slot) + "," +
+           std::to_string(unique) + ")";
+  }
+};
+
+/// Controller tasks occupy fixed low slot numbers in every cluster; user
+/// task slots start at kFirstUserSlot.
+inline constexpr int kTaskControllerSlot = 0;
+inline constexpr int kUserControllerSlot = 1;
+inline constexpr int kFileControllerSlot = 2;
+inline constexpr int kFirstUserSlot = 3;
+
+/// The <cluster> selector of the INITIATE statement:
+///   ON CLUSTER n / ANY / OTHER / SAME  INITIATE tasktype(args)
+struct Where {
+  enum class Kind { cluster, any, other, same };
+  Kind kind = Kind::any;
+  int cluster = 0;
+
+  static Where Cluster(int n) { return {Kind::cluster, n}; }
+  static Where Any() { return {Kind::any, 0}; }
+  static Where Other() { return {Kind::other, 0}; }
+  static Where Same() { return {Kind::same, 0}; }
+};
+
+/// The <taskid> destination of the SEND statement:
+///   TO PARENT / SELF / SENDER / USER / <taskid variable> / TCONTR <cluster>
+struct Dest {
+  enum class Kind { parent, self, sender, user, task, tcontr };
+  Kind kind = Kind::parent;
+  TaskId id{};
+  int cluster = 0;
+
+  static Dest Parent() { return {Kind::parent, {}, 0}; }
+  static Dest Self() { return {Kind::self, {}, 0}; }
+  static Dest Sender() { return {Kind::sender, {}, 0}; }
+  static Dest User() { return {Kind::user, {}, 0}; }
+  static Dest To(TaskId id) { return {Kind::task, id, 0}; }
+  static Dest TContr(int cluster) { return {Kind::tcontr, {}, cluster}; }
+};
+
+}  // namespace pisces::rt

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/value.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::rt {
+
+/// A message in a task's in-queue. "Messages consist of a header and a list
+/// of packets containing the arguments" (Section 11); they live in the
+/// shared-memory message heap from send until accept.
+struct Message {
+  std::string type;          ///< message type name (receiver decides meaning)
+  TaskId sender{};           ///< included automatically with every message
+  std::vector<Value> args;
+  sim::Tick sent_at = 0;
+  sim::Tick arrived_at = 0;
+  std::uint64_t seq = 0;     ///< global send sequence (trace correlation)
+  std::size_t heap_offset = 0;  ///< block in the shared message heap
+  std::size_t heap_bytes = 0;
+
+  /// Fixed header: type id, sender taskid, packet count, queue link, flags.
+  static constexpr std::size_t kHeaderBytes = 32;
+
+  /// Bytes the message occupies in the shared heap.
+  [[nodiscard]] std::size_t encoded_size() const {
+    return kHeaderBytes + encoded_args_size(args);
+  }
+};
+
+/// Message type names beginning with '_' are reserved for the PISCES system
+/// (initiate requests, window service, timeouts).
+inline bool is_system_type(const std::string& type) {
+  return !type.empty() && type[0] == '_';
+}
+
+/// The system-generated timeout message type (Section 6: a task whose ACCEPT
+/// waits past the timeout continues "with a system-generated 'timeout'
+/// message" when no DELAY clause was given).
+inline constexpr const char* kTimeoutType = "_TIMEOUT";
+
+}  // namespace pisces::rt

@@ -1,0 +1,666 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pisces::rt {
+
+namespace {
+/// Modelled sizes of the shared-memory system tables (Section 11, use 1).
+constexpr std::size_t kGlobalTableBytes = 256;
+constexpr std::size_t kClusterTableBytes = 32;
+/// Per-PE run-time bookkeeping in local memory (free lists, trace flags...).
+constexpr std::size_t kPerPeDataBytes = 2048;
+/// Default SHARED COMMON area size.
+constexpr std::size_t kCommonAreaBytes = 256 * 1024;
+}  // namespace
+
+int Cluster::free_user_slots() const {
+  int n = 0;
+  for (std::size_t s = kFirstUserSlot; s < slots.size(); ++s) {
+    if (slots[s]->state == TaskState::free_slot) ++n;
+  }
+  return n;
+}
+
+Runtime::Runtime(mmos::System& sys, config::Configuration cfg)
+    : sys_(&sys), cfg_(std::move(cfg)) {}
+
+Runtime::~Runtime() {
+  // Task bodies capture `this`; unwind them before members are destroyed.
+  sys_->engine().shutdown_processes();
+}
+
+void Runtime::register_tasktype(std::string name, TaskBody body) {
+  if (!tasktypes_.emplace(std::move(name), std::move(body)).second) {
+    throw std::logic_error("tasktype registered twice");
+  }
+}
+
+void Runtime::declare_message(std::string type, int arity) {
+  if (arity < 0) throw std::invalid_argument("negative message arity");
+  message_arity_[std::move(type)] = arity;
+}
+
+void Runtime::attach_file_store(int cluster, fsim::FileStore store, int disk_pe) {
+  if (booted_) throw std::logic_error("attach_file_store must precede boot()");
+  if (!sys_->machine().has_disk(disk_pe)) {
+    throw std::invalid_argument("PE " + std::to_string(disk_pe) + " has no disk");
+  }
+  pending_file_stores_.emplace_back(cluster, std::move(store), disk_pe);
+}
+
+void Runtime::boot() {
+  if (booted_) throw std::logic_error("Runtime::boot called twice");
+  auto errors = cfg_.validate(sys_->machine().spec());
+  if (!errors.empty()) {
+    std::ostringstream os;
+    os << "bad configuration '" << cfg_.name << "':";
+    for (const auto& e : errors) os << "\n  - " << e;
+    throw std::invalid_argument(os.str());
+  }
+
+  if (!sys_->loaded()) sys_->load(cfg_.loadfile);
+
+  // Shared-memory layout: system tables, the message heap, the SHARED
+  // COMMON area (Section 11's three uses of shared memory).
+  auto& shared = sys_->machine().shared_memory();
+  shared.allocate_static(kGlobalTableBytes, "system-tables");
+  shared.allocate_static(cfg_.message_heap_bytes, "message-heap");
+  shared.allocate_static(kCommonAreaBytes, "shared-common");
+  msg_heap_ = std::make_unique<flex::SharedHeap>(cfg_.message_heap_bytes);
+  common_heap_ = std::make_unique<flex::SharedHeap>(kCommonAreaBytes);
+
+  // Per-PE run-time data for every PE the configuration touches.
+  std::vector<int> used_pes;
+  for (const auto& c : cfg_.clusters) {
+    used_pes.push_back(c.primary_pe);
+    used_pes.insert(used_pes.end(), c.secondary_pes.begin(), c.secondary_pes.end());
+  }
+  std::sort(used_pes.begin(), used_pes.end());
+  used_pes.erase(std::unique(used_pes.begin(), used_pes.end()), used_pes.end());
+  for (int pe : used_pes) {
+    sys_->machine().local_memory(pe).allocate_static(kPerPeDataBytes, "pisces-data");
+  }
+
+  for (int k = 0; k < trace::kEventKindCount; ++k) {
+    tracer_.set_kind(static_cast<trace::EventKind>(k),
+                     cfg_.trace.kind_on[static_cast<std::size_t>(k)]);
+  }
+
+  for (const auto& ccfg : cfg_.clusters) {
+    auto cl = std::make_unique<Cluster>();
+    cl->cfg = ccfg;
+    const int total_slots = kFirstUserSlot + ccfg.slots;
+    shared.allocate_static(
+        kClusterTableBytes + static_cast<std::size_t>(total_slots) * TaskRecord::kTableBytes,
+        "system-tables");
+    for (int s = 0; s < total_slots; ++s) {
+      cl->slots.push_back(std::make_unique<TaskRecord>());
+    }
+    if (terminal_cluster_ == 0 && ccfg.has_terminal) terminal_cluster_ = ccfg.number;
+    by_number_[ccfg.number] = cl.get();
+    clusters_.push_back(std::move(cl));
+  }
+
+  for (auto& [number, store, disk_pe] : pending_file_stores_) {
+    auto it = by_number_.find(number);
+    if (it == by_number_.end()) {
+      throw std::invalid_argument("file store attached to unknown cluster " +
+                                  std::to_string(number));
+    }
+    it->second->files = std::move(store);
+    it->second->disk_pe = disk_pe;
+  }
+  pending_file_stores_.clear();
+
+  for (auto& cl : clusters_) start_controllers(*cl);
+
+  deadline_ = sys_->engine().now() + cfg_.time_limit;
+  booted_ = true;
+}
+
+// ---- controllers ----
+
+void Runtime::start_controllers(Cluster& cl) {
+  auto make_controller = [this, &cl](int slot, const std::string& tasktype,
+                                     void (Runtime::*body)(Cluster&, TaskContext&)) {
+    auto& rec = cl.slot(slot);
+    rec.id = TaskId{cl.cfg.number, slot, ++next_unique_};
+    rec.tasktype = tasktype;
+    rec.state = TaskState::running;
+    rec.initiated_at = sys_->engine().now();
+    auto& proc = sys_->kernel(cl.cfg.primary_pe)
+                     .create_process(tasktype + "@" + std::to_string(cl.cfg.number),
+                                     [this, &cl, slot, body](mmos::Proc& p) {
+                                       TaskContext ctx(*this, cl.slot(slot), p);
+                                       (this->*body)(cl, ctx);
+                                     });
+    rec.proc = &proc;
+  };
+  make_controller(kTaskControllerSlot, "_TCONTR", &Runtime::task_controller_body);
+  if (cl.cfg.has_terminal) {
+    make_controller(kUserControllerSlot, "_UCONTR", &Runtime::user_controller_body);
+  }
+  if (cl.files.has_value()) {
+    make_controller(kFileControllerSlot, "_FCONTR", &Runtime::file_controller_body);
+  }
+}
+
+int Runtime::find_free_slot(Cluster& cl) const {
+  for (std::size_t s = kFirstUserSlot; s < cl.slots.size(); ++s) {
+    if (cl.slots[s]->state == TaskState::free_slot) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+void Runtime::task_controller_body(Cluster& cl, TaskContext& ctx) {
+  while (true) {
+    // Drain held initiate requests into freed slots first.
+    while (!cl.pending.empty()) {
+      const int s = find_free_slot(cl);
+      if (s < 0) break;
+      PendingInitiate req = std::move(cl.pending.front());
+      cl.pending.pop_front();
+      start_task(cl, ctx, s, std::move(req));
+    }
+    if (ctx.record().in_queue.empty()) {
+      ctx.proc().block();
+      continue;
+    }
+    Message m = ctx.wait_any_message();
+    if (m.type == "_INITIATE") {
+      PendingInitiate req{m.args.at(0).as_str(), m.sender, m.args.at(1).as_list()};
+      handle_initiate(cl, ctx, std::move(req));
+    } else if (m.type == "_WINREAD" || m.type == "_WINWRITE") {
+      serve_window(cl, ctx, m);
+    } else {
+      ++stats_.controller_unknown_messages;
+    }
+  }
+}
+
+void Runtime::handle_initiate(Cluster& cl, TaskContext& ctl, PendingInitiate req) {
+  const int s = find_free_slot(cl);
+  if (s < 0) {
+    cl.pending.push_back(std::move(req));
+    ++stats_.initiates_held;
+    return;
+  }
+  start_task(cl, ctl, s, std::move(req));
+}
+
+void Runtime::start_task(Cluster& cl, TaskContext& ctl, int slot, PendingInitiate req) {
+  auto it = tasktypes_.find(req.tasktype);
+  if (it == tasktypes_.end()) {
+    console().write_line(sys_->engine().now(),
+                         "PISCES ERROR: unknown tasktype '" + req.tasktype + "'");
+    return;
+  }
+  ctl.proc().compute(costs().task_setup);
+  auto& rec = cl.slot(slot);
+  rec.id = TaskId{cl.cfg.number, slot, ++next_unique_};
+  rec.tasktype = req.tasktype;
+  rec.parent = req.parent;
+  rec.state = TaskState::starting;
+  rec.initiated_at = sys_->engine().now();
+  rec.init_args = std::move(req.args);
+  ++stats_.tasks_started;
+  const TaskId id = rec.id;
+  TaskBody body = it->second;
+  auto& proc = sys_->kernel(cl.cfg.primary_pe)
+                   .create_process(req.tasktype + id.str(),
+                                   [this, &cl, slot, body](mmos::Proc& p) {
+                                     auto& r = cl.slot(slot);
+                                     TaskContext task_ctx(*this, r, p);
+                                     r.state = TaskState::running;
+                                     body(task_ctx);
+                                   });
+  rec.proc = &proc;
+  proc.on_exit([this, &cl, slot, id] { finish_task(cl, slot, id); });
+  trace_event(trace::EventKind::task_init, id, req.parent, cl.cfg.primary_pe, 0,
+              req.tasktype);
+}
+
+void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
+  auto& rec = cl.slot(slot);
+  if (rec.id != id || rec.state == TaskState::free_slot) return;
+  trace_event(trace::EventKind::task_term, id, {}, cl.cfg.primary_pe, 0,
+              rec.tasktype);
+  // Reap force members left behind by a kill mid-force.
+  for (auto* member : rec.force_members) member->kill();
+  rec.force_members.clear();
+  for (const Message& m : rec.in_queue) heap_release(m.heap_offset);
+  for (const Message& m : rec.replies) heap_release(m.heap_offset);
+  rec.in_queue.clear();
+  rec.replies.clear();
+  rec.arrays.clear();
+  rec.array_names.clear();
+  rec.shared_blocks.clear();  // frees the SHARED COMMON area
+  rec.locks.clear();
+  rec.init_args.clear();
+  if (rec.proc != nullptr && rec.proc->was_killed()) ++stats_.tasks_killed;
+  rec.proc = nullptr;
+  rec.state = TaskState::free_slot;
+  ++stats_.tasks_finished;
+  // Wake the cluster's task controller so held initiates can proceed.
+  if (auto* ctl = cl.slot(kTaskControllerSlot).proc) ctl->wake();
+}
+
+void Runtime::user_controller_body(Cluster& cl, TaskContext& ctx) {
+  (void)cl;
+  while (true) {
+    Message m = ctx.wait_any_message();
+    std::string text;
+    if (m.type == "_PRINT" && m.args.size() == 1) {
+      text = m.args[0].as_str();
+    } else {
+      std::ostringstream os;
+      os << "FROM " << m.sender.str() << ": " << m.type << "(";
+      for (std::size_t i = 0; i < m.args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << m.args[i].str();
+      }
+      os << ")";
+      text = os.str();
+    }
+    ctx.proc().compute(static_cast<sim::Tick>(text.size()) *
+                       costs().console_per_char);
+    console().write_line(sys_->engine().now(), text);
+  }
+}
+
+void Runtime::file_controller_body(Cluster& cl, TaskContext& ctx) {
+  while (true) {
+    Message m = ctx.wait_any_message();
+    if (m.type == "_FWIN" || m.type == "_WINREAD" || m.type == "_WINWRITE") {
+      serve_file_window(cl, ctx, m);
+    } else {
+      ++stats_.controller_unknown_messages;
+    }
+  }
+}
+
+// ---- window service ----
+
+void Runtime::serve_window(Cluster& cl, TaskContext& ctl, const Message& m) {
+  const TaskId requester = m.sender;
+  const auto rid = m.args.at(0).as_int();
+  const Window w = m.args.at(1).as_window();
+  auto fail = [&](const std::string& reason) {
+    post(cl.controller_id(), &ctl.proc(), requester, "_WINERR",
+         {Value(rid), Value(reason)}, /*to_reply_queue=*/true);
+  };
+  TaskRecord* owner = live_record(w.owner);
+  if (owner == nullptr) {
+    fail("window owner " + w.owner.str() + " is not running");
+    return;
+  }
+  auto it = owner->arrays.find(w.array);
+  if (it == owner->arrays.end()) {
+    fail("owner has no array id " + std::to_string(w.array));
+    return;
+  }
+  Matrix& arr = it->second.data;
+  if (!w.rect.valid() || w.rect.row0 + w.rect.rows > arr.rows() ||
+      w.rect.col0 + w.rect.cols > arr.cols()) {
+    fail("window " + w.rect.str() + " outside array");
+    return;
+  }
+  // The controller shares the owner's PE, so the array is in reach of its
+  // local memory; charge a per-word copy cost.
+  ctl.proc().compute(static_cast<sim::Tick>(w.elements()) * costs().local_access);
+  if (m.type == "_WINREAD") {
+    Matrix part = fsim::copy_rect(arr, w.rect);
+    ++stats_.window_reads;
+    post(cl.controller_id(), &ctl.proc(), requester, "_WINDATA",
+         {Value(rid), Value(std::move(part.data()))}, /*to_reply_queue=*/true);
+  } else {
+    const auto& data = m.args.at(2).as_real_array();
+    if (data.size() != w.elements()) {
+      fail("write data size mismatch");
+      return;
+    }
+    Matrix part(w.rect.rows, w.rect.cols);
+    part.data() = data;
+    fsim::paste_rect(arr, w.rect, part);
+    ++stats_.window_writes;
+    post(cl.controller_id(), &ctl.proc(), requester, "_WINACK", {Value(rid)},
+         /*to_reply_queue=*/true);
+  }
+}
+
+void Runtime::serve_file_window(Cluster& cl, TaskContext& ctl, const Message& m) {
+  const TaskId requester = m.sender;
+  const auto rid = m.args.at(0).as_int();
+  const TaskId fc_id = cl.slot(kFileControllerSlot).id;
+  auto fail = [&](const std::string& reason) {
+    post(fc_id, &ctl.proc(), requester, "_WINERR", {Value(rid), Value(reason)},
+         /*to_reply_queue=*/true);
+  };
+  if (!cl.files.has_value()) {
+    fail("cluster has no file system");
+    return;
+  }
+
+  if (m.type == "_FWIN") {
+    const std::string& name = m.args.at(1).as_str();
+    if (!cl.files->exists(name)) {
+      fail("no file array '" + name + "'");
+      return;
+    }
+    auto [it, inserted] = cl.file_array_ids.try_emplace(name, cl.next_file_array_id);
+    if (inserted) {
+      cl.file_array_names[cl.next_file_array_id] = name;
+      ++cl.next_file_array_id;
+    }
+    const Matrix& arr = cl.files->get(name);
+    Window w;
+    w.owner = fc_id;
+    w.array = it->second;
+    w.rect = Rect{0, 0, arr.rows(), arr.cols()};
+    w.array_rows = arr.rows();
+    w.array_cols = arr.cols();
+    post(fc_id, &ctl.proc(), requester, "_FWINDATA", {Value(rid), Value(w)},
+         /*to_reply_queue=*/true);
+    return;
+  }
+
+  const Window w = m.args.at(1).as_window();
+  auto name_it = cl.file_array_names.find(w.array);
+  if (name_it == cl.file_array_names.end()) {
+    fail("unknown file array id " + std::to_string(w.array));
+    return;
+  }
+  const std::string name = name_it->second;
+  Matrix& arr = cl.files->get(name);
+  if (!w.rect.valid() || w.rect.row0 + w.rect.rows > arr.rows() ||
+      w.rect.col0 + w.rect.cols > arr.cols()) {
+    fail("window " + w.rect.str() + " outside file array");
+    return;
+  }
+  const bool is_write = m.type == "_WINWRITE";
+  std::vector<double> write_data;
+  if (is_write) {
+    write_data = m.args.at(2).as_real_array();
+    if (write_data.size() != w.elements()) {
+      fail("write data size mismatch");
+      return;
+    }
+  }
+
+  // Overlap-aware scheduling: conflicting operations wait; disjoint ones
+  // pipeline through the disk. The controller does not block — the data
+  // movement and the reply happen at the operation's completion tick.
+  auto& sched = cl.file_schedulers[w.array];
+  const sim::Tick now = sys_->engine().now();
+  const sim::Tick start = sched.earliest_start(w.rect, is_write, now);
+  const sim::Tick done =
+      sys_->machine().disk(cl.disk_pe).transfer(start, w.bytes());
+  sched.record(w.rect, is_write, now, done);
+  ctl.proc().compute(costs().msg_accept_overhead);  // request bookkeeping
+
+  Cluster* clp = &cl;
+  if (is_write) {
+    sys_->engine().schedule(done, [this, clp, name, rect = w.rect, rid, requester,
+                                   fc_id, data = std::move(write_data)] {
+      Matrix part(rect.rows, rect.cols);
+      part.data() = data;
+      clp->files->write_rect(name, rect, part);
+      ++stats_.window_writes;
+      post(fc_id, nullptr, requester, "_WINACK", {Value(rid)},
+           /*to_reply_queue=*/true);
+    });
+  } else {
+    sys_->engine().schedule(done, [this, clp, name, rect = w.rect, rid, requester,
+                                   fc_id] {
+      Matrix part = clp->files->read_rect(name, rect);
+      ++stats_.window_reads;
+      post(fc_id, nullptr, requester, "_WINDATA",
+           {Value(rid), Value(std::move(part.data()))},
+           /*to_reply_queue=*/true);
+    });
+  }
+}
+
+// ---- messaging core ----
+
+void Runtime::charge_shared(mmos::Proc& proc, std::size_t bytes) {
+  const sim::Tick now = sys_->engine().now();
+  const sim::Tick done = sys_->machine().shared_transfer(now, bytes);
+  if (done > now) proc.compute(done - now);
+}
+
+std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc) {
+  while (true) {
+    auto off = msg_heap_->allocate(bytes);
+    if (off.has_value()) return *off;
+    if (proc == nullptr) return kNoSpace;
+    ++stats_.heap_full_waits;
+    heap_waiters_.push_back(proc);
+    proc->block();
+  }
+}
+
+void Runtime::heap_release(std::size_t offset) {
+  msg_heap_->release(offset);
+  if (!heap_waiters_.empty()) {
+    auto waiters = std::move(heap_waiters_);
+    heap_waiters_.clear();
+    for (auto* w : waiters) w->wake();
+  }
+}
+
+bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
+                   std::string type, std::vector<Value> args,
+                   bool to_reply_queue) {
+  if (auto it = message_arity_.find(type); it != message_arity_.end() &&
+                                           static_cast<int>(args.size()) != it->second) {
+    throw std::logic_error("message '" + type + "' declared with " +
+                           std::to_string(it->second) + " argument(s), sent with " +
+                           std::to_string(args.size()));
+  }
+  if (live_record(to) == nullptr) {
+    ++stats_.dead_letters;
+    return false;
+  }
+  Message msg;
+  msg.type = std::move(type);
+  msg.sender = from;
+  msg.args = std::move(args);
+  const std::size_t bytes = msg.encoded_size();
+  const std::size_t off = heap_allocate_blocking(bytes, sender_proc);
+  if (off == kNoSpace) {
+    ++stats_.dead_letters;
+    return false;
+  }
+  if (sender_proc != nullptr) {
+    sender_proc->compute(costs().heap_alloc);
+    charge_shared(*sender_proc, bytes);
+  } else {
+    sys_->machine().shared_transfer(sys_->engine().now(), bytes);
+  }
+  // Re-check: the receiver may have terminated while we waited for heap
+  // space or for the bus.
+  TaskRecord* rec = live_record(to);
+  if (rec == nullptr) {
+    heap_release(off);
+    ++stats_.dead_letters;
+    return false;
+  }
+  msg.heap_offset = off;
+  msg.heap_bytes = bytes;
+  msg.sent_at = msg.arrived_at = sys_->engine().now();
+  msg.seq = ++next_msg_seq_;
+  ++stats_.messages_sent;
+  stats_.message_bytes_sent += bytes;
+  trace_event(trace::EventKind::msg_send, from, to,
+              sender_proc != nullptr ? sender_proc->pe() : 0, msg.seq, msg.type);
+  (to_reply_queue ? rec->replies : rec->in_queue).push_back(std::move(msg));
+  if (rec->proc != nullptr) rec->proc->wake();
+  return true;
+}
+
+int Runtime::resolve_where(const Where& where, int my_cluster) const {
+  switch (where.kind) {
+    case Where::Kind::cluster:
+      if (by_number_.find(where.cluster) == by_number_.end()) {
+        throw std::out_of_range("INITIATE names unconfigured cluster " +
+                                std::to_string(where.cluster));
+      }
+      return where.cluster;
+    case Where::Kind::same:
+      return my_cluster;
+    case Where::Kind::any:
+    case Where::Kind::other: {
+      // "ANY -- run in a system-chosen cluster": pick the most free slots,
+      // lowest number on ties (deterministic).
+      int best = -1;
+      int best_free = -1;
+      for (const auto& cl : clusters_) {
+        if (where.kind == Where::Kind::other && cl->cfg.number == my_cluster) {
+          continue;
+        }
+        const int f = cl->free_user_slots();
+        if (f > best_free) {
+          best_free = f;
+          best = cl->cfg.number;
+        }
+      }
+      if (best < 0) return my_cluster;  // single-cluster OTHER degenerates
+      return best;
+    }
+  }
+  return my_cluster;
+}
+
+TaskRecord* Runtime::live_record(TaskId id) {
+  auto it = by_number_.find(id.cluster);
+  if (it == by_number_.end()) return nullptr;
+  Cluster& cl = *it->second;
+  if (id.slot < 0 || id.slot >= static_cast<int>(cl.slots.size())) return nullptr;
+  TaskRecord& rec = cl.slot(id.slot);
+  if (rec.state == TaskState::free_slot || rec.id != id) return nullptr;
+  return &rec;
+}
+
+// ---- execution-environment operations ----
+
+void Runtime::user_initiate(int cluster, std::string tasktype,
+                            std::vector<Value> args) {
+  if (!booted_) throw std::logic_error("user_initiate before boot");
+  auto it = by_number_.find(cluster);
+  if (it == by_number_.end()) {
+    throw std::out_of_range("no cluster " + std::to_string(cluster));
+  }
+  ++stats_.initiates_requested;
+  post(user_controller_id(), nullptr, it->second->controller_id(), "_INITIATE",
+       {Value(std::move(tasktype)), Value::list(std::move(args))});
+}
+
+bool Runtime::user_send(TaskId to, std::string type, std::vector<Value> args) {
+  return post(user_controller_id(), nullptr, to, std::move(type), std::move(args));
+}
+
+bool Runtime::kill_task(TaskId id) {
+  TaskRecord* rec = live_record(id);
+  if (rec == nullptr || id.slot < kFirstUserSlot || rec->proc == nullptr) {
+    return false;
+  }
+  rec->proc->kill();
+  return true;
+}
+
+int Runtime::delete_messages(TaskId id, const std::string& type) {
+  TaskRecord* rec = live_record(id);
+  if (rec == nullptr) return 0;
+  int deleted = 0;
+  for (auto it = rec->in_queue.begin(); it != rec->in_queue.end();) {
+    if (type.empty() || it->type == type) {
+      heap_release(it->heap_offset);
+      it = rec->in_queue.erase(it);
+      ++deleted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.messages_deleted += static_cast<std::uint64_t>(deleted);
+  return deleted;
+}
+
+TaskId Runtime::user_controller_id() const {
+  auto it = by_number_.find(terminal_cluster_);
+  if (it == by_number_.end()) return {};
+  return it->second->slot(kUserControllerSlot).id;
+}
+
+sim::Tick Runtime::run() {
+  if (!booted_) boot();
+  sys_->engine().run_until(deadline_);
+  if (sys_->engine().pending_events() > 0) {
+    timed_out_ = true;
+    console().write_line(sys_->engine().now(), "PISCES: EXECUTION TIME LIMIT REACHED");
+  }
+  return sys_->engine().now();
+}
+
+sim::Tick Runtime::run_for(sim::Tick dt) {
+  if (!booted_) boot();
+  return sys_->engine().run_until(std::min(deadline_, sys_->engine().now() + dt));
+}
+
+// ---- introspection ----
+
+std::vector<Runtime::TaskInfo> Runtime::running_tasks() const {
+  std::vector<TaskInfo> out;
+  for (const auto& cl : clusters_) {
+    for (const auto& rec : cl->slots) {
+      if (rec->state == TaskState::free_slot) continue;
+      TaskInfo info;
+      info.id = rec->id;
+      info.tasktype = rec->tasktype;
+      info.state = rec->state;
+      info.pe = cl->cfg.primary_pe;
+      info.queue_length = rec->in_queue.size();
+      info.initiated_at = rec->initiated_at;
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+const Cluster& Runtime::cluster(int number) const {
+  auto it = by_number_.find(number);
+  if (it == by_number_.end()) {
+    throw std::out_of_range("no cluster " + std::to_string(number));
+  }
+  return *it->second;
+}
+
+Cluster& Runtime::cluster(int number) {
+  auto it = by_number_.find(number);
+  if (it == by_number_.end()) {
+    throw std::out_of_range("no cluster " + std::to_string(number));
+  }
+  return *it->second;
+}
+
+const TaskRecord* Runtime::find_record(TaskId id) const {
+  return const_cast<Runtime*>(this)->live_record(id);
+}
+
+void Runtime::trace_event(trace::EventKind kind, TaskId task, TaskId other,
+                          int pe, std::uint64_t seq, std::string info) {
+  trace::Record r;
+  r.kind = kind;
+  r.at = sys_->engine().now();
+  r.pe = pe;
+  r.task = task;
+  r.other = other;
+  r.seq = seq;
+  r.info = std::move(info);
+  tracer_.record(std::move(r));
+}
+
+}  // namespace pisces::rt

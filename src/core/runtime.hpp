@@ -1,0 +1,222 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "core/context.hpp"
+#include "core/task.hpp"
+#include "flex/shared_heap.hpp"
+#include "fsim/file_store.hpp"
+#include "fsim/rw_scheduler.hpp"
+#include "mmos/system.hpp"
+#include "trace/tracer.hpp"
+
+namespace pisces::rt {
+
+/// An initiate request held by a task controller until a slot frees
+/// ("If no slots are available in the cluster, the task controller will
+/// hold the initiate request until another task terminates", Section 6).
+struct PendingInitiate {
+  std::string tasktype;
+  TaskId parent{};
+  std::vector<Value> args;
+};
+
+/// One virtual-machine cluster at run time: its configuration, its slot
+/// records (controllers in slots 0-2, user tasks from kFirstUserSlot), and
+/// the queue of held initiate requests.
+struct Cluster {
+  config::ClusterConfig cfg;
+  std::vector<std::unique_ptr<TaskRecord>> slots;
+  std::deque<PendingInitiate> pending;
+
+  // File-controller state (present when a file store is attached).
+  std::optional<fsim::FileStore> files;
+  int disk_pe = 1;
+  std::map<std::string, std::uint32_t> file_array_ids;
+  std::map<std::uint32_t, std::string> file_array_names;
+  std::map<std::uint32_t, fsim::RwScheduler> file_schedulers;
+  std::uint32_t next_file_array_id = 1;
+
+  [[nodiscard]] TaskRecord& slot(int n) { return *slots[static_cast<std::size_t>(n)]; }
+  [[nodiscard]] const TaskRecord& slot(int n) const {
+    return *slots[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] TaskId controller_id() const { return slot(kTaskControllerSlot).id; }
+  [[nodiscard]] int free_user_slots() const;
+};
+
+/// Run-wide statistics kept by the run-time library.
+struct RuntimeStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_accepted = 0;
+  std::uint64_t broadcast_copies = 0;
+  std::uint64_t initiates_requested = 0;
+  std::uint64_t initiates_held = 0;  ///< waited for a slot
+  std::uint64_t tasks_started = 0;
+  std::uint64_t tasks_finished = 0;
+  std::uint64_t tasks_killed = 0;
+  std::uint64_t accept_timeouts = 0;
+  std::uint64_t dead_letters = 0;    ///< sends to stale/invalid taskids
+  std::uint64_t heap_full_waits = 0;
+  std::uint64_t window_reads = 0;
+  std::uint64_t window_writes = 0;
+  std::uint64_t forcesplits = 0;
+  std::uint64_t controller_unknown_messages = 0;
+  std::uint64_t messages_deleted = 0;
+  std::uint64_t message_bytes_sent = 0;
+};
+
+/// The PISCES 2 run-time system: boots the virtual machine described by a
+/// Configuration onto the MMOS/FLEX substrate, runs the controller tasks,
+/// and implements task initiation, message passing, forces, and windows.
+class Runtime {
+ public:
+  Runtime(mmos::System& sys, config::Configuration cfg);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Register a tasktype definition (must precede any INITIATE naming it).
+  void register_tasktype(std::string name, TaskBody body);
+
+  /// Declare a message type's argument count (the MESSAGE declaration of
+  /// Pisces Fortran). Optional: undeclared types carry any argument list;
+  /// a send of a declared type with the wrong arity throws std::logic_error.
+  void declare_message(std::string type, int arity);
+
+  /// Attach a simulated disk's file store to a cluster; the cluster gets a
+  /// file controller at boot. `disk_pe` names the FLEX disk used (1 or 2).
+  void attach_file_store(int cluster, fsim::FileStore store, int disk_pe = 1);
+
+  /// Validate the configuration, download the loadfile, allocate the shared
+  /// system tables, and start the controller tasks. Throws
+  /// std::invalid_argument listing problems if the configuration is bad.
+  void boot();
+
+  // ---- the execution environment's operations ----
+  /// Menu 1, INITIATE A TASK: top-level initiate from the user terminal
+  /// (the new task's parent is the user controller).
+  void user_initiate(int cluster, std::string tasktype, std::vector<Value> args = {});
+  /// Menu 3, SEND A MESSAGE (from the user).
+  bool user_send(TaskId to, std::string type, std::vector<Value> args = {});
+  /// Menu 2, KILL A TASK. False if the taskid is stale or not a user task.
+  bool kill_task(TaskId id);
+  /// Menu 4, DELETE MESSAGES: drop queued messages of `type` ("" = all)
+  /// from a task's in-queue. Returns how many were deleted.
+  int delete_messages(TaskId id, const std::string& type = "");
+
+  /// Taskid of the user controller serving the terminal (destination USER).
+  [[nodiscard]] TaskId user_controller_id() const;
+
+  /// Run the simulation to completion or to the configured time limit.
+  /// Returns the final tick. Sets timed_out() if the limit was hit.
+  sim::Tick run();
+  /// Run at most `dt` further ticks.
+  sim::Tick run_for(sim::Tick dt);
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
+
+  // ---- introspection (execution environment displays, tests, benches) ----
+  struct TaskInfo {
+    TaskId id{};
+    std::string tasktype;
+    TaskState state = TaskState::free_slot;
+    int pe = 0;
+    std::size_t queue_length = 0;
+    sim::Tick initiated_at = 0;
+  };
+  [[nodiscard]] std::vector<TaskInfo> running_tasks() const;
+  [[nodiscard]] const Cluster& cluster(int number) const;
+  [[nodiscard]] Cluster& cluster(int number);
+  [[nodiscard]] const std::vector<std::unique_ptr<Cluster>>& clusters() const {
+    return clusters_;
+  }
+  [[nodiscard]] const TaskRecord* find_record(TaskId id) const;
+  [[nodiscard]] const config::Configuration& configuration() const { return cfg_; }
+
+  [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] mmos::Console& console() { return sys_->console(); }
+  [[nodiscard]] mmos::System& system() { return *sys_; }
+  [[nodiscard]] flex::Machine& machine() { return sys_->machine(); }
+  [[nodiscard]] sim::Engine& engine() { return sys_->engine(); }
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  /// The shared-memory message heap ("message-passing area", Section 11).
+  [[nodiscard]] const flex::SharedHeap& message_heap() const { return *msg_heap_; }
+  /// The SHARED COMMON area.
+  [[nodiscard]] const flex::SharedHeap& common_heap() const { return *common_heap_; }
+
+ private:
+  friend class TaskContext;
+  friend class ForceContext;
+  friend class SharedBlock;
+  friend class LockVar;
+
+  // ---- internals used by TaskContext / force machinery ----
+  [[nodiscard]] const flex::CostModel& costs() const {
+    return sys_->machine().costs();
+  }
+  /// Charge `proc` for moving `bytes` through shared memory (latency + bus).
+  void charge_shared(mmos::Proc& proc, std::size_t bytes);
+
+  /// Deliver a message (sender side already charged). Returns false and
+  /// counts a dead letter if `to` is stale. `sender_proc` may be null for
+  /// environment-originated messages.
+  bool post(TaskId from, mmos::Proc* sender_proc, TaskId to, std::string type,
+            std::vector<Value> args, bool to_reply_queue = false);
+  /// Allocate message bytes in the shared heap, blocking `proc` (if given)
+  /// until space is available.
+  std::size_t heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc);
+  void heap_release(std::size_t offset);
+
+  int resolve_where(const Where& where, int my_cluster) const;
+  [[nodiscard]] TaskRecord* live_record(TaskId id);
+  [[nodiscard]] int find_free_slot(Cluster& cl) const;
+
+  /// Sentinel from heap_allocate_blocking when no proc was given and the
+  /// heap is full (environment-originated messages are dropped, not blocked).
+  static constexpr std::size_t kNoSpace = static_cast<std::size_t>(-1);
+
+  void start_controllers(Cluster& cl);
+  void task_controller_body(Cluster& cl, TaskContext& ctx);
+  void user_controller_body(Cluster& cl, TaskContext& ctx);
+  void file_controller_body(Cluster& cl, TaskContext& ctx);
+  void handle_initiate(Cluster& cl, TaskContext& ctl, PendingInitiate req);
+  void start_task(Cluster& cl, TaskContext& ctl, int slot, PendingInitiate req);
+  void finish_task(Cluster& cl, int slot, TaskId id);
+  void serve_window(Cluster& cl, TaskContext& ctl, const Message& m);
+  void serve_file_window(Cluster& cl, TaskContext& ctl, const Message& m);
+
+  void trace_event(trace::EventKind kind, TaskId task, TaskId other, int pe,
+                   std::uint64_t seq, std::string info);
+
+  mmos::System* sys_;
+  config::Configuration cfg_;
+  trace::Tracer tracer_;
+  std::map<std::string, TaskBody> tasktypes_;
+  std::map<std::string, int> message_arity_;
+  // Heaps are declared before clusters_: task records hold SharedBlocks
+  // whose destructors release into common_heap_, so the records must be
+  // destroyed first (members destruct in reverse declaration order).
+  std::unique_ptr<flex::SharedHeap> msg_heap_;
+  std::unique_ptr<flex::SharedHeap> common_heap_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;  // indexed by position
+  std::map<int, Cluster*> by_number_;
+  int terminal_cluster_ = 0;
+  std::uint64_t next_unique_ = 0;
+  std::uint64_t next_msg_seq_ = 0;
+  std::uint64_t next_request_id_ = 0;
+  std::vector<std::tuple<int, fsim::FileStore, int>> pending_file_stores_;
+  std::vector<mmos::Proc*> heap_waiters_;
+  RuntimeStats stats_;
+  bool booted_ = false;
+  bool timed_out_ = false;
+  sim::Tick deadline_ = 0;
+};
+
+}  // namespace pisces::rt

@@ -1,0 +1,313 @@
+#include "exec/execution_env.hpp"
+
+#include <iomanip>
+#include <optional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pisces::exec {
+
+namespace {
+const char* state_name(rt::TaskState s) {
+  switch (s) {
+    case rt::TaskState::free_slot: return "FREE";
+    case rt::TaskState::starting: return "STARTING";
+    case rt::TaskState::running: return "RUNNING";
+  }
+  return "?";
+}
+}  // namespace
+
+bool ExecutionEnvironment::parse_taskid(const std::string& text, rt::TaskId* out) {
+  rt::TaskId id;
+  char c1 = 0;
+  char c2 = 0;
+  std::istringstream is(text);
+  unsigned long long unique = 0;
+  if (!(is >> id.cluster >> c1 >> id.slot >> c2 >> unique) || c1 != ':' || c2 != ':') {
+    return false;
+  }
+  id.unique = unique;
+  *out = id;
+  return true;
+}
+
+void ExecutionEnvironment::show_menu(std::ostream& out) const {
+  out << "PISCES EXECUTION ENVIRONMENT  t=" << rt_->engine().now() << "\n"
+      << " 0 TERMINATE THE RUN\n"
+      << " 1 INITIATE A TASK\n"
+      << " 2 KILL A TASK\n"
+      << " 3 SEND A MESSAGE\n"
+      << " 4 DELETE MESSAGES\n"
+      << " 5 DISPLAY RUNNING TASKS\n"
+      << " 6 DISPLAY MESSAGE QUEUE\n"
+      << " 7 DUMP SYSTEM STATE\n"
+      << " 8 DISPLAY PE LOADING\n"
+      << " 9 CHANGE TRACE OPTIONS\n"
+      << "choice> " << std::flush;
+}
+
+void ExecutionEnvironment::repl(std::istream& in, std::ostream& out,
+                                sim::Tick step_ticks) {
+  std::string line;
+  while (true) {
+    rt_->run_for(step_ticks);
+    show_menu(out);
+    if (!std::getline(in, line)) return;
+    std::istringstream ls(line);
+    int choice = -1;
+    if (!(ls >> choice)) continue;
+    switch (choice) {
+      case 0:
+        out << "RUN TERMINATED at t=" << rt_->engine().now() << "\n";
+        return;
+      case 1: {
+        int cluster = 0;
+        std::string tasktype;
+        out << "cluster tasktype> " << std::flush;
+        if (std::getline(in, line)) {
+          std::istringstream as(line);
+          if (as >> cluster >> tasktype) initiate_task(out, cluster, tasktype);
+        }
+        break;
+      }
+      case 2: {
+        out << "taskid (c:s:u)> " << std::flush;
+        rt::TaskId id;
+        if (std::getline(in, line) && parse_taskid(line, &id)) kill_task(out, id);
+        else out << "bad taskid\n";
+        break;
+      }
+      case 3: {
+        out << "taskid type> " << std::flush;
+        if (std::getline(in, line)) {
+          std::istringstream as(line);
+          std::string id_text;
+          std::string type;
+          rt::TaskId id;
+          if (as >> id_text >> type && parse_taskid(id_text, &id)) {
+            send_message(out, id, type);
+          } else {
+            out << "bad arguments\n";
+          }
+        }
+        break;
+      }
+      case 4: {
+        out << "taskid [type]> " << std::flush;
+        if (std::getline(in, line)) {
+          std::istringstream as(line);
+          std::string id_text;
+          std::string type;
+          rt::TaskId id;
+          as >> id_text >> type;
+          if (parse_taskid(id_text, &id)) delete_messages(out, id, type);
+          else out << "bad taskid\n";
+        }
+        break;
+      }
+      case 5: display_tasks(out); break;
+      case 6: {
+        out << "taskid (c:s:u)> " << std::flush;
+        rt::TaskId id;
+        if (std::getline(in, line) && parse_taskid(line, &id)) display_queue(out, id);
+        else out << "bad taskid\n";
+        break;
+      }
+      case 7: dump_state(out); break;
+      case 8: display_pe_loading(out); break;
+      case 9: {
+        out << "event-kind on|off [taskid]> " << std::flush;
+        if (std::getline(in, line)) {
+          std::istringstream as(line);
+          std::string kind;
+          std::string setting;
+          std::string id_text;
+          if (as >> kind >> setting) {
+            rt::TaskId id;
+            if (as >> id_text && parse_taskid(id_text, &id)) {
+              change_trace_for_task(out, id, kind, setting == "on");
+            } else {
+              change_trace(out, kind, setting == "on");
+            }
+          }
+        }
+        break;
+      }
+      default: out << "unknown choice\n"; break;
+    }
+  }
+}
+
+void ExecutionEnvironment::initiate_task(std::ostream& out, int cluster,
+                                         const std::string& tasktype,
+                                         const std::vector<rt::Value>& args) {
+  try {
+    rt_->user_initiate(cluster, tasktype, args);
+    out << "initiate request sent to task controller of cluster " << cluster << "\n";
+  } catch (const std::exception& e) {
+    out << "INITIATE failed: " << e.what() << "\n";
+  }
+}
+
+void ExecutionEnvironment::kill_task(std::ostream& out, rt::TaskId id) {
+  out << (rt_->kill_task(id) ? "task killed\n" : "no such running user task\n");
+}
+
+void ExecutionEnvironment::send_message(std::ostream& out, rt::TaskId to,
+                                        const std::string& type,
+                                        const std::vector<rt::Value>& args) {
+  out << (rt_->user_send(to, type, args) ? "message queued\n"
+                                         : "destination not running\n");
+}
+
+void ExecutionEnvironment::delete_messages(std::ostream& out, rt::TaskId id,
+                                           const std::string& type) {
+  out << rt_->delete_messages(id, type) << " message(s) deleted\n";
+}
+
+void ExecutionEnvironment::display_tasks(std::ostream& out) const {
+  out << "RUNNING TASKS at t=" << rt_->engine().now() << "\n";
+  out << std::left << std::setw(14) << "  taskid" << std::setw(14) << "tasktype"
+      << std::setw(10) << "state" << std::setw(5) << "pe" << std::setw(8)
+      << "queue" << "initiated\n";
+  for (const auto& info : rt_->running_tasks()) {
+    out << "  " << std::left << std::setw(12) << info.id.str() << std::setw(14)
+        << info.tasktype << std::setw(10) << state_name(info.state)
+        << std::setw(5) << info.pe << std::setw(8) << info.queue_length
+        << info.initiated_at << "\n";
+  }
+}
+
+void ExecutionEnvironment::display_queue(std::ostream& out, rt::TaskId id) const {
+  const rt::TaskRecord* rec = rt_->find_record(id);
+  if (rec == nullptr) {
+    out << "no such task " << id.str() << "\n";
+    return;
+  }
+  out << "MESSAGE QUEUE of " << id.str() << " (" << rec->in_queue.size()
+      << " messages)\n";
+  for (const auto& m : rec->in_queue) {
+    out << "  " << m.type << " from " << m.sender.str() << " arrived=" << m.arrived_at
+        << " bytes=" << m.heap_bytes << "\n";
+  }
+}
+
+void ExecutionEnvironment::dump_state(std::ostream& out) const {
+  const auto& stats = rt_->stats();
+  const auto& heap = rt_->message_heap();
+  out << "SYSTEM STATE DUMP t=" << rt_->engine().now() << "\n";
+  out << "  messages: sent=" << stats.messages_sent
+      << " accepted=" << stats.messages_accepted
+      << " dead-letters=" << stats.dead_letters
+      << " deleted=" << stats.messages_deleted << "\n";
+  out << "  tasks: started=" << stats.tasks_started
+      << " finished=" << stats.tasks_finished << " killed=" << stats.tasks_killed
+      << " initiates-held=" << stats.initiates_held << "\n";
+  out << "  forces: splits=" << stats.forcesplits << "\n";
+  out << "  windows: reads=" << stats.window_reads
+      << " writes=" << stats.window_writes << "\n";
+  out << "  message heap: in-use=" << heap.in_use() << "/" << heap.capacity()
+      << " peak=" << heap.peak_in_use() << " blocks=" << heap.live_blocks()
+      << " failed-allocs=" << heap.failed_allocations() << "\n";
+  auto& shared = rt_->machine().shared_memory();
+  out << "  shared memory:";
+  for (const auto& [label, bytes] : shared.by_label()) {
+    out << " " << label << "=" << bytes;
+  }
+  out << "\n";
+  out << "  bus: transfers=" << rt_->machine().bus().transfers()
+      << " busy=" << rt_->machine().bus().busy_ticks()
+      << " waited=" << rt_->machine().bus().wait_ticks() << "\n";
+  for (const auto& cl : rt_->clusters()) {
+    out << "  cluster " << cl->cfg.number << ": free-slots=" << cl->free_user_slots()
+        << " held-initiates=" << cl->pending.size() << "\n";
+  }
+}
+
+void ExecutionEnvironment::display_pe_loading(std::ostream& out) const {
+  out << "PE LOADING t=" << rt_->engine().now() << "\n";
+  auto& sys = rt_->system();
+  const sim::Tick now = rt_->engine().now();
+  for (const auto& k : sys.kernels()) {
+    if (k->live_count() == 0 && k->dispatches() == 0) continue;
+    out << "  PE " << std::setw(2) << k->pe() << ": live=" << k->live_count()
+        << " ready=" << k->ready_count() << " dispatches=" << k->dispatches()
+        << " util=" << std::fixed << std::setprecision(2)
+        << 100.0 * k->utilization(now) << "% running="
+        << (k->current() != nullptr ? k->current()->name() : std::string("-"))
+        << "\n";
+  }
+}
+
+namespace {
+std::optional<trace::EventKind> kind_from_name(const std::string& name) {
+  for (int k = 0; k < trace::kEventKindCount; ++k) {
+    const auto kind = static_cast<trace::EventKind>(k);
+    if (trace::kind_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+void ExecutionEnvironment::change_trace(std::ostream& out,
+                                        const std::string& kind_name_str,
+                                        bool on) {
+  if (auto kind = kind_from_name(kind_name_str)) {
+    rt_->tracer().set_kind(*kind, on);
+    out << "trace " << kind_name_str << " " << (on ? "on" : "off") << "\n";
+    return;
+  }
+  out << "unknown event kind '" << kind_name_str
+      << "' (use TASK-INIT, TASK-TERM, MSG-SEND, MSG-ACCEPT, LOCK, UNLOCK, "
+         "BARRIER, FORCE-SPLIT)\n";
+}
+
+void ExecutionEnvironment::change_trace_for_task(std::ostream& out,
+                                                 rt::TaskId task,
+                                                 const std::string& kind_name_str,
+                                                 bool on) {
+  if (auto kind = kind_from_name(kind_name_str)) {
+    rt_->tracer().set_task(task, *kind, on);
+    out << "trace " << kind_name_str << " for " << task.str() << " "
+        << (on ? "on" : "off") << "\n";
+    return;
+  }
+  out << "unknown event kind '" << kind_name_str << "'\n";
+}
+
+void ExecutionEnvironment::display_organization(std::ostream& out) const {
+  out << "PISCES 2 VIRTUAL MACHINE ORGANIZATION (configuration '"
+      << rt_->configuration().name << "')\n";
+  out << "+------------------------------------------------------------+\n";
+  for (const auto& cl : rt_->clusters()) {
+    out << "| CLUSTER " << cl->cfg.number << "  (primary PE " << cl->cfg.primary_pe
+        << ", " << cl->cfg.slots << " user slots)\n";
+    for (std::size_t s = 0; s < cl->slots.size(); ++s) {
+      const auto& rec = *cl->slots[s];
+      out << "|   slot " << s << ": ";
+      if (rec.state == rt::TaskState::free_slot) {
+        if (s == rt::kTaskControllerSlot) out << "<task controller slot, idle>";
+        else if (s == rt::kUserControllerSlot) out << "<no user controller>";
+        else if (s == rt::kFileControllerSlot) out << "<no file controller>";
+        else out << "<not in use>";
+      } else {
+        out << rec.tasktype << " " << rec.id.str();
+        if (s == rt::kUserControllerSlot) out << " <-- terminal";
+        if (s == rt::kFileControllerSlot) out << " <-- disk PE " << cl->disk_pe;
+      }
+      out << "\n";
+    }
+    if (!cl->cfg.secondary_pes.empty()) {
+      out << "|   force PEs:";
+      for (int pe : cl->cfg.secondary_pes) out << " " << pe;
+      out << "\n";
+    }
+    out << "|------------------------------- intra-cluster network -----|\n";
+  }
+  out << "|            message-passing network (shared memory)         |\n";
+  out << "+------------------------------------------------------------+\n";
+}
+
+}  // namespace pisces::exec

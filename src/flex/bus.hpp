@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pisces::flex {
+
+/// The FLEX/32 common bus to shared memory, modelled as a FIFO resource:
+/// each transfer occupies the bus for a duration proportional to the words
+/// moved, and transfers issued while the bus is busy queue behind it. This
+/// captures the first-order contention behaviour of a single shared bus
+/// without modelling arbitration microarchitecture.
+class Bus {
+ public:
+  /// Reserve the bus at or after `now` for `duration` ticks.
+  /// Returns the tick at which the transfer completes.
+  sim::Tick transfer(sim::Tick now, sim::Tick duration) {
+    const sim::Tick start = busy_until_ > now ? busy_until_ : now;
+    wait_ticks_ += start - now;
+    busy_until_ = start + duration;
+    busy_ticks_ += duration;
+    ++transfers_;
+    return busy_until_;
+  }
+
+  [[nodiscard]] sim::Tick busy_until() const { return busy_until_; }
+  /// Total ticks the bus spent transferring data.
+  [[nodiscard]] sim::Tick busy_ticks() const { return busy_ticks_; }
+  /// Total ticks requesters spent queued behind earlier transfers.
+  [[nodiscard]] sim::Tick wait_ticks() const { return wait_ticks_; }
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+
+ private:
+  sim::Tick busy_until_ = 0;
+  sim::Tick busy_ticks_ = 0;
+  sim::Tick wait_ticks_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace pisces::flex

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace pisces::flex {
+
+/// Tick costs of primitive operations of the simulated FLEX/32 + MMOS +
+/// PISCES run-time library. The absolute values are calibrated only loosely
+/// (the paper reports no timings, Section 13); what matters for the
+/// reproduced experiments is the *structure*: shared memory is slower than
+/// local and serializes on the bus, context switches and message operations
+/// have fixed overheads, and disks are orders of magnitude slower.
+///
+/// All costs are in ticks; one tick is roughly one NS32032 machine cycle.
+struct CostModel {
+  // Memory / bus.
+  sim::Tick local_access = 1;    ///< local-memory word access
+  sim::Tick shared_access = 3;   ///< shared-memory word access latency
+  sim::Tick bus_per_word = 2;    ///< bus occupancy per 32-bit word moved
+
+  // MMOS kernel.
+  sim::Tick context_switch = 50;    ///< dispatch a different process
+  sim::Tick time_slice = 1000;      ///< round-robin quantum
+  sim::Tick process_create = 800;   ///< fork a new MMOS process
+  sim::Tick process_exit = 200;
+  sim::Tick console_per_char = 4;   ///< terminal output
+
+  // PISCES run-time library.
+  sim::Tick msg_send_overhead = 150;    ///< fixed cost of TO ... SEND
+  sim::Tick msg_accept_overhead = 100;  ///< fixed cost per accepted message
+  sim::Tick heap_alloc = 40;            ///< shared-heap allocate
+  sim::Tick heap_free = 25;             ///< shared-heap free
+  sim::Tick initiate_overhead = 120;    ///< build + send an initiate request
+  sim::Tick task_setup = 300;           ///< controller-side task start cost
+  sim::Tick forcesplit_per_member = 400;
+  sim::Tick lock_op = 10;               ///< lock/unlock a LOCK variable
+  sim::Tick barrier_op = 15;            ///< per-member barrier bookkeeping
+
+  // Disk (on PEs 1-2).
+  sim::Tick disk_seek = 20000;
+  sim::Tick disk_per_word = 8;
+};
+
+}  // namespace pisces::flex

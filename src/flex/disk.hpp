@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "flex/cost_model.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::flex {
+
+/// A disk attached to a Unix PE (PEs 1-2 on the NASA FLEX/32). Transfers
+/// serialize: a request issued while the disk is busy starts when the
+/// previous one completes. Seek cost is charged per request.
+class Disk {
+ public:
+  explicit Disk(const CostModel& costs) : costs_(&costs) {}
+
+  /// Schedule a transfer of `bytes` at or after `now`; returns completion.
+  sim::Tick transfer(sim::Tick now, std::size_t bytes) {
+    const sim::Tick start = busy_until_ > now ? busy_until_ : now;
+    const auto words = static_cast<sim::Tick>((bytes + 3) / 4);
+    const sim::Tick duration = costs_->disk_seek + words * costs_->disk_per_word;
+    busy_until_ = start + duration;
+    busy_ticks_ += duration;
+    bytes_moved_ += bytes;
+    ++transfers_;
+    return busy_until_;
+  }
+
+  [[nodiscard]] sim::Tick busy_until() const { return busy_until_; }
+  [[nodiscard]] sim::Tick busy_ticks() const { return busy_ticks_; }
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  const CostModel* costs_;
+  sim::Tick busy_until_ = 0;
+  sim::Tick busy_ticks_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace pisces::flex

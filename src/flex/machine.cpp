@@ -1,0 +1,44 @@
+#include "flex/machine.hpp"
+
+#include <algorithm>
+
+namespace pisces::flex {
+
+Machine::Machine(sim::Engine& engine, MachineSpec spec, CostModel costs)
+    : engine_(&engine),
+      spec_(std::move(spec)),
+      costs_(costs),
+      shared_memory_("shared", spec_.shared_memory_bytes) {
+  if (spec_.pe_count < 1) throw std::invalid_argument("machine needs >= 1 PE");
+  if (spec_.unix_pe_count < 0 || spec_.unix_pe_count >= spec_.pe_count) {
+    throw std::invalid_argument("unix_pe_count must leave at least one MMOS PE");
+  }
+  locals_.reserve(static_cast<std::size_t>(spec_.pe_count));
+  disks_.resize(static_cast<std::size_t>(spec_.pe_count));
+  for (int pe = 1; pe <= spec_.pe_count; ++pe) {
+    locals_.emplace_back("local-pe" + std::to_string(pe), spec_.local_memory_bytes);
+    if (std::find(spec_.disk_pes.begin(), spec_.disk_pes.end(), pe) !=
+        spec_.disk_pes.end()) {
+      disks_[static_cast<std::size_t>(pe - 1)] = std::make_unique<Disk>(costs_);
+    }
+  }
+}
+
+bool Machine::has_disk(int pe) const {
+  check_pe(pe);
+  return disks_[static_cast<std::size_t>(pe - 1)] != nullptr;
+}
+
+MemoryArena& Machine::local_memory(int pe) {
+  check_pe(pe);
+  return locals_[static_cast<std::size_t>(pe - 1)];
+}
+
+Disk& Machine::disk(int pe) {
+  check_pe(pe);
+  auto& d = disks_[static_cast<std::size_t>(pe - 1)];
+  if (!d) throw std::logic_error("PE " + std::to_string(pe) + " has no disk");
+  return *d;
+}
+
+}  // namespace pisces::flex

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pisces::flex {
+
+/// Thrown when a simulated memory or heap is exhausted.
+class OutOfMemory : public std::runtime_error {
+ public:
+  explicit OutOfMemory(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A byte-accounted memory arena modelling one physical memory (a PE's 1 MB
+/// local memory, or the 2.25 MB shared memory). Static allocations are
+/// labelled so storage-overhead experiments (paper Section 13) can report
+/// exactly where memory went. Offsets are stable for the arena's lifetime;
+/// no data is stored here — payload bytes live in the owning C++ objects,
+/// the arena models *capacity and accounting*.
+class MemoryArena {
+ public:
+  MemoryArena(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  /// Permanently reserve `bytes`, tagged with `label` (aggregated per label).
+  /// Returns the starting offset. Throws OutOfMemory when over capacity.
+  std::size_t allocate_static(std::size_t bytes, std::string_view label) {
+    if (bytes > capacity_ - used_) {
+      throw OutOfMemory(name_ + ": static allocation of " +
+                        std::to_string(bytes) + " bytes for '" +
+                        std::string(label) + "' exceeds capacity");
+    }
+    const std::size_t offset = used_;
+    used_ += bytes;
+    by_label_[std::string(label)] += bytes;
+    return offset;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t free_bytes() const { return capacity_ - used_; }
+  [[nodiscard]] double used_fraction() const {
+    return capacity_ == 0 ? 0.0 : static_cast<double>(used_) / static_cast<double>(capacity_);
+  }
+  /// Bytes reserved under each label.
+  [[nodiscard]] const std::map<std::string, std::size_t>& by_label() const {
+    return by_label_;
+  }
+  [[nodiscard]] std::size_t used_by(std::string_view label) const {
+    auto it = by_label_.find(std::string(label));
+    return it == by_label_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::map<std::string, std::size_t> by_label_;
+};
+
+}  // namespace pisces::flex

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace pisces::flex {
+
+/// The message-passing area of shared memory (paper Section 11): "a heap
+/// with explicit allocation/deallocation as messages are sent and accepted."
+///
+/// First-fit allocation over an address-ordered free list with coalescing of
+/// adjacent free blocks. Offsets model shared-memory addresses; the heap
+/// tracks live/peak usage so the Section 13 storage experiment can show that
+/// message storage is dynamically recovered and reused.
+class SharedHeap {
+ public:
+  explicit SharedHeap(std::size_t capacity) : capacity_(capacity) {
+    if (capacity > 0) free_blocks_[0] = capacity;
+  }
+
+  /// Allocate `bytes` (rounded up to the 8-byte allocation granule).
+  /// Returns the block offset, or nullopt when no free block fits.
+  std::optional<std::size_t> allocate(std::size_t bytes);
+
+  /// Release a block previously returned by allocate(). The offset must be
+  /// exact; releasing an unknown offset throws std::logic_error.
+  void release(std::size_t offset);
+
+  /// Size in bytes of the live block at `offset` (0 if unknown).
+  [[nodiscard]] std::size_t block_size(std::size_t offset) const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t peak_in_use() const { return peak_in_use_; }
+  [[nodiscard]] std::size_t live_blocks() const { return allocated_.size(); }
+  [[nodiscard]] std::size_t free_block_count() const { return free_blocks_.size(); }
+  [[nodiscard]] std::size_t largest_free_block() const;
+  [[nodiscard]] std::uint64_t total_allocations() const { return total_allocations_; }
+  [[nodiscard]] std::uint64_t failed_allocations() const { return failed_allocations_; }
+
+  /// External fragmentation: 1 - largest_free / total_free (0 when empty).
+  [[nodiscard]] double fragmentation() const;
+
+  static constexpr std::size_t kGranule = 8;
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + kGranule - 1) / kGranule * kGranule;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::size_t, std::size_t> free_blocks_;  ///< offset -> size
+  std::map<std::size_t, std::size_t> allocated_;    ///< offset -> size
+  std::size_t in_use_ = 0;
+  std::size_t peak_in_use_ = 0;
+  std::uint64_t total_allocations_ = 0;
+  std::uint64_t failed_allocations_ = 0;
+};
+
+}  // namespace pisces::flex

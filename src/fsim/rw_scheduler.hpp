@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/window.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::fsim {
+
+/// Overlap-aware scheduling of parallel read/write requests against one
+/// file array ("the file controller can manage any parallel read/write
+/// requests for overlapping sections of an array", Section 8).
+///
+/// Reads on overlapping sections may proceed concurrently; a write must
+/// wait for every in-flight operation that overlaps it, and every later
+/// operation overlapping an in-flight write waits for that write. The
+/// scheduler answers, for a request arriving at `now`, the earliest tick
+/// it may *start*; the caller then adds the disk transfer time and records
+/// the operation.
+class RwScheduler {
+ public:
+  struct Op {
+    rt::Rect rect;
+    bool is_write = false;
+    sim::Tick completes_at = 0;
+  };
+
+  /// Earliest start time for a request on `rect` arriving at `now`.
+  [[nodiscard]] sim::Tick earliest_start(const rt::Rect& rect, bool is_write,
+                                         sim::Tick now) const {
+    sim::Tick start = now;
+    for (const auto& op : ops_) {
+      if (op.completes_at <= now) continue;
+      if (!op.rect.overlaps(rect)) continue;
+      if (op.is_write || is_write) start = std::max(start, op.completes_at);
+    }
+    return start;
+  }
+
+  /// Record an operation issued at `now` that will complete at `completes_at`.
+  void record(const rt::Rect& rect, bool is_write, sim::Tick now,
+              sim::Tick completes_at) {
+    prune(now);
+    ops_.push_back(Op{rect, is_write, completes_at});
+    if (is_write) ++writes_; else ++reads_;
+  }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::size_t in_flight(sim::Tick now) const {
+    std::size_t n = 0;
+    for (const auto& op : ops_) {
+      if (op.completes_at > now) ++n;
+    }
+    return n;
+  }
+
+ private:
+  /// Drop operations that completed well before `now` to bound the list.
+  void prune(sim::Tick now) {
+    std::erase_if(ops_, [now](const Op& op) { return op.completes_at + 1 < now; });
+  }
+
+  std::vector<Op> ops_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace pisces::fsim

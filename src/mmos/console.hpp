@@ -1,0 +1,45 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pisces::mmos {
+
+/// A user terminal attached to a PE. Output lines are recorded with their
+/// virtual timestamps (tests assert on them); an optional echo stream mirrors
+/// them to the host terminal for interactive examples.
+class Console {
+ public:
+  struct Line {
+    sim::Tick at;
+    std::string text;
+  };
+
+  void write_line(sim::Tick at, std::string text) {
+    if (echo_ != nullptr) *echo_ << "[t=" << at << "] " << text << '\n';
+    lines_.push_back(Line{at, std::move(text)});
+  }
+
+  [[nodiscard]] const std::vector<Line>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+  /// Mirror output to `os` as it is produced (nullptr to disable).
+  void set_echo(std::ostream* os) { echo_ = os; }
+
+  /// Convenience for tests: true if any line contains `needle`.
+  [[nodiscard]] bool contains(const std::string& needle) const {
+    for (const auto& l : lines_) {
+      if (l.text.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Line> lines_;
+  std::ostream* echo_ = nullptr;
+};
+
+}  // namespace pisces::mmos

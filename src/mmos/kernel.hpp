@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flex/machine.hpp"
+#include "mmos/proc.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::mmos {
+
+/// The MMOS kernel instance on one MMOS PE (paper Section 11: "a simple
+/// Unix-like kernel that provides multiprogramming, I/O, storage allocation").
+/// Scheduling is round-robin with a fixed time slice; a dispatch charges a
+/// context-switch cost before the incoming process runs.
+class Kernel {
+ public:
+  Kernel(flex::Machine& machine, int pe);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] int pe() const { return pe_; }
+  [[nodiscard]] flex::Machine& machine() { return *machine_; }
+  [[nodiscard]] sim::Engine& engine() { return machine_->engine(); }
+  [[nodiscard]] const flex::CostModel& costs() const { return machine_->costs(); }
+
+  /// Create a process on this PE. It becomes ready immediately and starts
+  /// (with process-creation cost charged to it) when first dispatched.
+  Proc& create_process(std::string name, Proc::Body body);
+
+  // Scheduler introspection (the exec environment's "DISPLAY PE LOADING").
+  [[nodiscard]] const Proc* current() const { return current_; }
+  [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] std::uint64_t dispatches() const { return dispatches_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Proc>>& procs() const {
+    return procs_;
+  }
+  /// Ticks this PE spent executing process work (excludes context
+  /// switches and idle time).
+  [[nodiscard]] sim::Tick busy_ticks() const { return busy_ticks_; }
+  /// Fraction of [0, now] this PE was doing useful work.
+  [[nodiscard]] double utilization(sim::Tick now) const {
+    return now <= 0 ? 0.0
+                    : static_cast<double>(busy_ticks_) / static_cast<double>(now);
+  }
+
+ private:
+  friend class Proc;
+
+  void make_ready(Proc& p);
+  /// If the CPU is idle and someone is ready, start a dispatch.
+  void maybe_dispatch();
+  /// Called by the running process to give up the CPU (block or exit).
+  void release(Proc& p);
+  /// Remove a process from scheduler structures wherever it is (kill path).
+  void remove(Proc& p);
+
+  /// Remaining ticks in the current quantum; refreshes the quantum when the
+  /// ready queue is empty (nobody to preempt for).
+  sim::Tick slice_remaining();
+  void note_ran(sim::Tick t) {
+    slice_used_ += t;
+    busy_ticks_ += t;
+  }
+  [[nodiscard]] bool should_preempt() const {
+    return slice_used_ >= costs().time_slice && !ready_.empty();
+  }
+
+  flex::Machine* machine_;
+  int pe_;
+  std::deque<Proc*> ready_;
+  Proc* current_ = nullptr;
+  sim::Tick slice_used_ = 0;
+  sim::Tick busy_ticks_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t next_proc_id_ = 1;
+  std::vector<std::unique_ptr<Proc>> procs_;
+};
+
+}  // namespace pisces::mmos

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pisces::mmos {
+
+/// Model of an MMOS loadfile (paper Section 11): every selected PE is loaded
+/// with the same image — the MMOS kernel, the PISCES system, and all user
+/// code. Only the sizes matter to the simulation; they are charged against
+/// each PE's local memory so the Section 13 storage experiment measures real
+/// fractions.
+struct Loadfile {
+  std::string name = "a.load";
+  /// MMOS kernel text+data resident on each PE (not part of the PISCES 2.5%).
+  std::size_t mmos_kernel_bytes = 64 * 1024;
+  /// PISCES run-time library code (counts toward the paper's "< 2.5 % of
+  /// each PE's local memory for system code and data").
+  std::size_t pisces_code_bytes = 16 * 1024;
+  /// User tasktype object code.
+  std::size_t user_code_bytes = 128 * 1024;
+};
+
+}  // namespace pisces::mmos

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::mmos {
+
+class Kernel;
+class System;
+
+/// An MMOS process: a simulated-OS process bound to one PE, scheduled
+/// round-robin by that PE's Kernel. A Proc consumes CPU explicitly via
+/// compute(); everything else (message waits, lock waits, barriers) is a
+/// kernel-level block that releases the PE.
+///
+/// Two wait levels exist and must not be confused:
+///  * sim::Process waits: "waiting to be put on the CPU" (internal);
+///  * Proc::block*: "waiting for a condition" (used by the PISCES runtime).
+class Proc {
+ public:
+  using Body = std::function<void(Proc&)>;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int pe() const;
+  [[nodiscard]] Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool was_killed() const { return killed_; }
+  [[nodiscard]] sim::Tick cpu_ticks() const { return cpu_ticks_; }
+
+  // ---- Calls valid only from inside this process's body ----
+
+  /// Consume `ticks` of CPU on this PE, interleaving with other ready
+  /// processes at time-slice boundaries (MMOS round robin).
+  void compute(sim::Tick ticks);
+
+  /// Release the PE and wait until another process calls wake().
+  void block() { (void)block_with_timeout(sim::kForever); }
+
+  /// Release the PE and wait until wake() or `deadline`. Returns true if
+  /// the deadline expired first.
+  bool block_with_timeout(sim::Tick deadline);
+
+  /// Release the PE briefly so equal-priority ready processes can run.
+  void yield();
+
+  // ---- Calls valid from anywhere in the simulation ----
+
+  /// Make a condition-blocked process ready again. No-op otherwise
+  /// (callers re-check their condition, so redundant wakes are harmless).
+  void wake();
+
+  /// Terminate the process. Its stack unwinds at the next blocking point;
+  /// exit callbacks still run.
+  void kill();
+
+  /// Register a callback to run (as an engine event) when the process
+  /// finishes, normally or by kill.
+  void on_exit(std::function<void()> fn) { exit_callbacks_.push_back(std::move(fn)); }
+
+ private:
+  friend class Kernel;
+  friend class System;
+
+  Proc(Kernel& kernel, std::uint64_t id, std::string name, Body body);
+
+  void body_wrapper(sim::Process& sp);
+  void finish();
+
+  Kernel* kernel_;
+  std::uint64_t id_;
+  std::string name_;
+  Body body_;
+  sim::Process* sp_ = nullptr;
+
+  bool cond_blocked_ = false;
+  std::uint64_t block_epoch_ = 0;
+  bool timed_out_ = false;
+  bool finished_ = false;
+  bool killed_ = false;
+  sim::Tick cpu_ticks_ = 0;
+  std::vector<std::function<void()>> exit_callbacks_;
+};
+
+}  // namespace pisces::mmos

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "flex/machine.hpp"
+#include "mmos/console.hpp"
+#include "mmos/kernel.hpp"
+#include "mmos/loadfile.hpp"
+
+namespace pisces::mmos {
+
+/// The MMOS side of the FLEX software organization: one Kernel per MMOS PE
+/// (PEs 3-20 on the NASA machine), a loadfile downloaded to every selected
+/// PE, and an operator console. PEs are rebooted between user programs on
+/// the real machine; here, a fresh System per run models that.
+class System {
+ public:
+  explicit System(flex::Machine& machine) : machine_(&machine) {
+    for (int pe = machine.spec().first_mmos_pe(); pe <= machine.pe_count(); ++pe) {
+      kernels_.push_back(std::make_unique<Kernel>(machine, pe));
+    }
+  }
+
+  ~System() {
+    // Processes reference kernels; unwind them while kernels still exist.
+    machine_->engine().shutdown_processes();
+  }
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] flex::Machine& machine() { return *machine_; }
+  [[nodiscard]] sim::Engine& engine() { return machine_->engine(); }
+
+  [[nodiscard]] bool has_kernel(int pe) const {
+    return machine_->is_mmos_pe(pe);
+  }
+
+  [[nodiscard]] Kernel& kernel(int pe) {
+    if (!has_kernel(pe)) {
+      throw std::out_of_range("PE " + std::to_string(pe) +
+                              " does not run MMOS (Unix PE or out of range)");
+    }
+    return *kernels_[static_cast<std::size_t>(pe - machine_->spec().first_mmos_pe())];
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Kernel>>& kernels() const {
+    return kernels_;
+  }
+
+  /// Download the loadfile image to every MMOS PE: charges kernel, PISCES
+  /// system, and user code sizes against each PE's local memory.
+  void load(const Loadfile& lf) {
+    for (auto& k : kernels_) {
+      auto& mem = machine_->local_memory(k->pe());
+      mem.allocate_static(lf.mmos_kernel_bytes, "mmos-kernel");
+      mem.allocate_static(lf.pisces_code_bytes, "pisces-code");
+      mem.allocate_static(lf.user_code_bytes, "user-code");
+    }
+    loaded_ = true;
+  }
+  [[nodiscard]] bool loaded() const { return loaded_; }
+
+  [[nodiscard]] Console& console() { return console_; }
+
+ private:
+  flex::Machine* machine_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  Console console_;
+  bool loaded_ = false;
+};
+
+}  // namespace pisces::mmos

@@ -1,0 +1,62 @@
+// pfc — the Pisces Fortran preprocessor command-line driver.
+//
+// Usage: pfc <input.pf> [-o <output.f>]
+//
+// Translates Pisces Fortran to standard Fortran 77 with embedded calls on
+// the PISCES run-time library (paper Section 10). Diagnostics go to stderr;
+// exit status is non-zero if any were produced.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "pfc/translator.hpp"
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string output_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: pfc <input.pf> [-o <output.f>]\n";
+      return 0;
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      std::cerr << "pfc: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (input_path.empty()) {
+    std::cerr << "usage: pfc <input.pf> [-o <output.f>]\n";
+    return 2;
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::cerr << "pfc: cannot open " << input_path << "\n";
+    return 2;
+  }
+  std::ostringstream src;
+  src << in.rdbuf();
+
+  pisces::pfc::Translator translator;
+  auto result = translator.translate(src.str());
+  if (!result.ok()) {
+    std::cerr << result.error_text();
+  }
+
+  if (output_path.empty()) {
+    std::cout << result.output;
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::cerr << "pfc: cannot write " << output_path << "\n";
+      return 2;
+    }
+    out << result.output;
+  }
+  return result.ok() ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+#include "pfc/source.hpp"
+
+#include <algorithm>
+
+namespace pisces::pfc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool is_comment_line(const std::string& line) {
+  if (line.empty()) return false;
+  if (line[0] == '*') return true;
+  // Column-1 'C' means comment only when followed by whitespace or nothing;
+  // otherwise it could be a Pisces statement (CRITICAL ...) written at the
+  // margin, which strict fixed form would not allow but this preprocessor
+  // accepts.
+  if ((line[0] == 'C' || line[0] == 'c') &&
+      (line.size() == 1 || line[1] == ' ' || line[1] == '\t' || line[1] == '-')) {
+    return true;
+  }
+  const std::string t = trim(line);
+  return !t.empty() && t[0] == '!';
+}
+
+/// Fixed-form continuation: any non-blank, non-'0' character in column 6
+/// with columns 1-5 blank.
+bool is_fixed_continuation(const std::string& line) {
+  if (line.size() < 6) return false;
+  for (int i = 0; i < 5; ++i) {
+    if (line[static_cast<std::size_t>(i)] != ' ') return false;
+  }
+  const char c6 = line[5];
+  return c6 != ' ' && c6 != '0';
+}
+
+}  // namespace
+
+bool starts_with_keyword(const std::string& upper, const std::string& kw) {
+  if (upper.size() < kw.size()) return false;
+  if (upper.compare(0, kw.size(), kw) != 0) return false;
+  if (upper.size() == kw.size()) return true;
+  const char c = upper[kw.size()];
+  return !(std::isalnum(static_cast<unsigned char>(c)) || c == '_');
+}
+
+std::vector<SourceLine> read_source(const std::string& text) {
+  // First pass: physical lines.
+  std::vector<std::string> phys;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      phys.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) phys.push_back(cur);
+
+  std::vector<SourceLine> out;
+  for (std::size_t i = 0; i < phys.size(); ++i) {
+    const std::string& line = phys[i];
+    SourceLine sl;
+    sl.number = static_cast<int>(i + 1);
+    sl.raw = line;
+    if (is_comment_line(line) || trim(line).empty()) {
+      sl.is_comment = true;
+      out.push_back(std::move(sl));
+      continue;
+    }
+    // Label in columns 1-5 (fixed form) or "<digits> stmt" (free form).
+    std::string body = line;
+    if (line.size() >= 1 && std::isdigit(static_cast<unsigned char>(line[0]))) {
+      std::size_t p = 0;
+      while (p < line.size() && std::isdigit(static_cast<unsigned char>(line[p]))) ++p;
+      sl.label = line.substr(0, p);
+      body = line.substr(p);
+    } else if (line.size() > 6) {
+      std::string label_field = trim(line.substr(0, 5));
+      if (!label_field.empty() &&
+          std::all_of(label_field.begin(), label_field.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c));
+          })) {
+        sl.label = label_field;
+        body = line.substr(6);
+      }
+    }
+    std::string stmt = trim(body);
+    // Gather continuations: '&' suffix or fixed-form column-6 marks.
+    while (true) {
+      if (!stmt.empty() && stmt.back() == '&') {
+        stmt.pop_back();
+        stmt = trim(stmt);
+        if (i + 1 < phys.size()) {
+          ++i;
+          sl.raw += "\n" + phys[i];
+          stmt += " " + trim(phys[i]);
+          continue;
+        }
+        break;
+      }
+      if (i + 1 < phys.size() && is_fixed_continuation(phys[i + 1])) {
+        ++i;
+        sl.raw += "\n" + phys[i];
+        stmt += " " + trim(phys[i].substr(6));
+        continue;
+      }
+      break;
+    }
+    sl.text = stmt;
+    sl.upper = to_upper(stmt);
+    out.push_back(std::move(sl));
+  }
+  return out;
+}
+
+}  // namespace pisces::pfc

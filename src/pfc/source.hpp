@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace pisces::pfc {
+
+/// One logical Fortran line: label (if any), statement text, and the source
+/// line number for diagnostics.
+struct SourceLine {
+  int number = 0;          ///< 1-based physical line of the statement start
+  std::string label;       ///< statement label (columns 1-5), "" if none
+  std::string text;        ///< statement body, leading/trailing blanks trimmed
+  std::string upper;       ///< uppercased copy for keyword matching
+  bool is_comment = false; ///< passed through verbatim
+  std::string raw;         ///< original physical line(s), for pass-through
+};
+
+/// Split source text into logical lines. Accepts the fixed-form conventions
+/// the 1987 system used ('C' or '*' in column 1 comments, a non-blank
+/// column 6 continues the previous statement) plus '&'-suffix continuations
+/// for convenience.
+std::vector<SourceLine> read_source(const std::string& text);
+
+inline std::string to_upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// True if `upper` starts with keyword `kw` followed by a non-identifier
+/// character (or end of string).
+bool starts_with_keyword(const std::string& upper, const std::string& kw);
+
+}  // namespace pisces::pfc

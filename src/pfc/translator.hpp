@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pisces::pfc {
+
+/// A translation problem, with the 1-based source line it was found on.
+struct Diagnostic {
+  int line = 0;
+  std::string message;
+};
+
+struct TranslateResult {
+  std::string output;  ///< standard Fortran 77 with PIS* run-time calls
+  std::vector<Diagnostic> errors;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::string error_text() const;
+};
+
+/// The Pisces Fortran preprocessor (Section 10): "A preprocessor converts
+/// Pisces Fortran programs into standard Fortran 77, with embedded calls on
+/// the Pisces run-time library."
+///
+/// Recognized extensions (one statement per logical line):
+///   TASKTYPE name(type arg, ...) ... END TASKTYPE
+///   MESSAGE name(type arg, ...)          message-type declaration
+///   HANDLER name / SIGNAL name           receiver-side processing choice
+///   TASKID v / WINDOW w / LOCK l         Pisces data types
+///   ON CLUSTER e|ANY|OTHER|SAME INITIATE name(args)
+///   TO PARENT|SELF|SENDER|USER|TCONTR e|<var> SEND type(args)
+///   TO ALL [CLUSTER e] SEND type(args)
+///   ACCEPT [n] OF / type[: count|: ALL] ... / [DELAY t THEN ...] END ACCEPT
+///   FORCESPLIT
+///   SHARED COMMON /blk/ decls
+///   BARRIER ... END BARRIER
+///   CRITICAL lock ... END CRITICAL
+///   PRESCHED DO [label] v = lo, hi[, step]   (terminated by label or END DO)
+///   SELFSCHED DO [label] v = lo, hi[, step]
+///   PARSEG / NEXTSEG / ENDSEG
+///
+/// Ordinary Fortran 77 passes through unchanged ("No changes are required to
+/// Fortran subprograms that run sequentially"). A registration subroutine
+/// PISREG is appended, binding tasktypes, message types, handlers and shared
+/// blocks to the run-time library.
+class Translator {
+ public:
+  TranslateResult translate(const std::string& source);
+};
+
+}  // namespace pisces::pfc

@@ -1,0 +1,48 @@
+#include "session/job_queue.hpp"
+
+#include <algorithm>
+
+namespace pisces::session {
+
+std::vector<JobResult> JobQueue::run_all() {
+  // FIFO by submission time (stable for equal times: submission order).
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.submit_at < b.submit_at;
+                   });
+
+  std::vector<JobResult> results;
+  sim::Tick machine_free_at = 0;
+  for (JobSpec& job : jobs_) {
+    JobResult res;
+    res.user = job.user;
+    res.submit_at = job.submit_at;
+    res.started_at = std::max(job.submit_at, machine_free_at);
+    if (res.started_at > machine_free_at) {
+      idle_ticks_ += res.started_at - machine_free_at;
+    }
+
+    // The reboot: a brand-new machine, MMOS system, and runtime per job.
+    {
+      sim::Engine engine;
+      flex::Machine machine(engine);
+      mmos::System system(machine);
+      rt::Runtime runtime(system, job.configuration);
+      if (job.setup) job.setup(runtime);
+      runtime.boot();
+      if (job.start) job.start(runtime);
+      res.run_ticks = runtime.run();
+      res.timed_out = runtime.timed_out();
+      res.stats = runtime.stats();
+      res.console = runtime.console().lines();
+    }
+
+    res.finished_at = res.started_at + res.run_ticks + reboot_ticks_;
+    machine_free_at = res.finished_at;
+    results.push_back(std::move(res));
+  }
+  jobs_.clear();
+  return results;
+}
+
+}  // namespace pisces::session

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "core/runtime.hpp"
+
+namespace pisces::session {
+
+/// A request to run one PISCES program on the machine's MMOS PEs.
+struct JobSpec {
+  std::string user;
+  config::Configuration configuration;
+  /// Register tasktypes, declare messages, attach file stores.
+  std::function<void(rt::Runtime&)> setup;
+  /// Initiate the top-level task(s).
+  std::function<void(rt::Runtime&)> start;
+  /// When the user submits the request, in FLEX wall-clock ticks.
+  sim::Tick submit_at = 0;
+};
+
+/// What one job run produced.
+struct JobResult {
+  std::string user;
+  sim::Tick submit_at = 0;
+  sim::Tick started_at = 0;   ///< when the MMOS PEs became available to it
+  sim::Tick finished_at = 0;  ///< start + run duration + reboot
+  sim::Tick run_ticks = 0;    ///< virtual time the program itself took
+  bool timed_out = false;
+  rt::RuntimeStats stats;
+  std::vector<mmos::Console::Line> console;
+
+  [[nodiscard]] sim::Tick queue_wait() const { return started_at - submit_at; }
+};
+
+/// Section 11's multi-user discipline: "The MMOS PE's are treated as an
+/// allocatable resource and only one user is given access at a time. PE's
+/// are rebooted after each user program completes execution. User requests
+/// to use the MMOS PE's are queued in the UNIX PE if the MMOS PE's are in
+/// use."
+///
+/// Each job gets a *fresh* machine + MMOS system + PISCES runtime (the
+/// reboot), runs to completion or its configured time limit, and the next
+/// job starts afterwards. Job virtual times are stitched onto one FLEX
+/// wall clock so queue waits are measurable.
+class JobQueue {
+ public:
+  explicit JobQueue(sim::Tick reboot_ticks = 2'000'000)
+      : reboot_ticks_(reboot_ticks) {}
+
+  void submit(JobSpec job) { jobs_.push_back(std::move(job)); }
+  [[nodiscard]] std::size_t pending() const { return jobs_.size(); }
+
+  /// Run every submitted job FIFO. Clears the queue.
+  std::vector<JobResult> run_all();
+
+  /// Total wall ticks the MMOS PEs sat idle between jobs (arrival gaps).
+  [[nodiscard]] sim::Tick idle_ticks() const { return idle_ticks_; }
+
+ private:
+  sim::Tick reboot_ticks_;
+  std::vector<JobSpec> jobs_;
+  sim::Tick idle_ticks_ = 0;
+};
+
+}  // namespace pisces::session

@@ -1,0 +1,96 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace pisces::sim {
+
+Engine::~Engine() { shutdown_processes(); }
+
+void Engine::shutdown_processes() {
+  shutting_down_ = true;
+  // Unwind every live process so its host thread can exit. Each run_slice
+  // hands the thread one turn: a never-started body sees the kill flag and
+  // returns; a blocked/runnable body throws ProcessKilled from its wait.
+  for (auto& p : processes_) {
+    while (p->state_ != Process::State::finished) {
+      p->kill_requested_ = true;
+      p->run_slice();
+    }
+  }
+}
+
+void Engine::schedule(Tick at, EventQueue::Action action) {
+  if (shutting_down_) return;
+  queue_.push(std::max(at, now_), std::move(action));
+}
+
+Process& Engine::spawn(std::string name, Process::Body body) {
+  processes_.push_back(std::unique_ptr<Process>(
+      new Process(*this, next_process_id_++, std::move(name), std::move(body))));
+  return *processes_.back();
+}
+
+void Engine::wake(Process& p) {
+  if (p.state_ == Process::State::blocked || p.state_ == Process::State::created) {
+    p.state_ = Process::State::runnable;
+    p.schedule_resume(now_, /*timeout=*/false, p.wait_epoch_);
+  }
+}
+
+void Engine::kill(Process& p) {
+  if (p.state_ == Process::State::finished) return;
+  p.kill_requested_ = true;
+  if (p.state_ == Process::State::blocked || p.state_ == Process::State::created) {
+    // Wake it so the kill takes effect now rather than at an arbitrary
+    // future wake.
+    p.state_ = Process::State::runnable;
+    p.schedule_resume(now_, /*timeout=*/false, p.wait_epoch_);
+  }
+  // A runnable or running process unwinds at its next blocking call.
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Tick at = 0;
+  EventQueue::Action action = queue_.pop(&at);
+  now_ = std::max(now_, at);
+  ++events_fired_;
+  action();
+  if (failure_) {
+    std::exception_ptr e = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  return true;
+}
+
+Tick Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Tick Engine::run_until(Tick limit) {
+  while (!queue_.empty() && queue_.next_tick() <= limit) {
+    step();
+  }
+  return now_;
+}
+
+std::vector<const Process*> Engine::blocked_processes() const {
+  std::vector<const Process*> out;
+  for (const auto& p : processes_) {
+    if (p->state() == Process::State::blocked) out.push_back(p.get());
+  }
+  return out;
+}
+
+std::size_t Engine::live_process_count() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (p->state() != Process::State::finished) ++n;
+  }
+  return n;
+}
+
+}  // namespace pisces::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::sim {
+
+/// Discrete-event simulation engine: a virtual clock, a time-ordered event
+/// queue, and a set of cooperative processes. This is the substrate on which
+/// the FLEX/32 machine model and the MMOS kernel are built.
+///
+/// Determinism contract: events at equal ticks fire in schedule order; only
+/// one process body runs at a time; virtual time advances only between
+/// events. Given the same inputs, a simulation always produces the same
+/// trace.
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedule `action` to run at absolute tick `at` (>= now).
+  void schedule(Tick at, EventQueue::Action action);
+  /// Schedule `action` to run `delay` ticks from now.
+  void schedule_in(Tick delay, EventQueue::Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  /// Create a process. The body does not start running until wake() is
+  /// called on it. The returned reference stays valid for the Engine's
+  /// lifetime.
+  Process& spawn(std::string name, Process::Body body);
+
+  /// Wake a blocked (or not-yet-started) process at the current tick.
+  /// No-op if the process is runnable, running, or finished — callers use
+  /// condition-recheck loops, so a redundant wake is harmless.
+  void wake(Process& p);
+
+  /// Request that a process unwind and finish. A blocked process is woken
+  /// immediately; a running/runnable one unwinds at its next blocking call.
+  void kill(Process& p);
+
+  /// Run until the event queue is empty. Returns the final tick.
+  Tick run();
+  /// Run events with tick <= `limit`. Returns the tick reached.
+  Tick run_until(Tick limit);
+  /// Fire a single event if one is pending. Returns false when idle.
+  bool step();
+
+  /// Processes currently blocked with no pending event to wake them — a
+  /// non-empty result after run() indicates deadlock (or tasks waiting for
+  /// external input).
+  [[nodiscard]] std::vector<const Process*> blocked_processes() const;
+
+  /// Force-unwind every live process (their blocking calls throw
+  /// ProcessKilled) and join the host threads. Called automatically by the
+  /// destructor; call it earlier when higher-level objects referenced by
+  /// process bodies are destroyed before the Engine. Idempotent. After
+  /// shutdown, schedule() becomes a no-op and exit callbacks do not run.
+  void shutdown_processes();
+
+  [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+  /// Events still queued (0 after run() unless run_until stopped early).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t live_process_count() const;
+
+ private:
+  friend class Process;
+
+  /// Called from a process body that threw (other than ProcessKilled): the
+  /// exception is stashed and rethrown from the run loop.
+  void note_failure(std::exception_ptr e) { failure_ = std::move(e); }
+
+  void reap_finished();
+
+  Tick now_ = 0;
+  bool shutting_down_ = false;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::uint64_t next_process_id_ = 1;
+  std::uint64_t events_fired_ = 0;
+  std::exception_ptr failure_;
+};
+
+}  // namespace pisces::sim

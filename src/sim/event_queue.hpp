@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pisces::sim {
+
+/// Time-ordered queue of simulation events. Events at the same tick fire in
+/// insertion order (a stable tiebreak is essential for determinism).
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void push(Tick at, Action action) {
+    heap_.push(Event{at, next_seq_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Tick of the earliest pending event. Queue must be non-empty.
+  [[nodiscard]] Tick next_tick() const { return heap_.top().at; }
+
+  /// Remove and return the earliest event's action. Queue must be non-empty.
+  Action pop(Tick* at = nullptr) {
+    // priority_queue::top() is const; the action is moved out under a
+    // const_cast, which is safe because the element is popped immediately.
+    auto& top = const_cast<Event&>(heap_.top());
+    if (at != nullptr) *at = top.at;
+    Action action = std::move(top.action);
+    heap_.pop();
+    return action;
+  }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pisces::sim

@@ -1,0 +1,93 @@
+#include "sim/process.hpp"
+
+#include "sim/engine.hpp"
+
+namespace pisces::sim {
+
+Process::Process(Engine& engine, std::uint64_t id, std::string name, Body body)
+    : engine_(engine), id_(id), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+Process::~Process() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::thread_main() {
+  {
+    std::unique_lock lock(mutex_);
+    thread_started_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return turn_ == Turn::process; });
+  }
+  if (!kill_requested_) {
+    try {
+      body_(*this);
+    } catch (const ProcessKilled&) {
+      // Normal kill unwind.
+    } catch (...) {
+      engine_.note_failure(std::current_exception());
+    }
+  }
+  body_ = nullptr;  // release any captured state promptly
+  state_ = State::finished;
+  {
+    std::lock_guard lock(mutex_);
+    turn_ = Turn::engine;
+  }
+  cv_.notify_all();
+}
+
+void Process::run_slice() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return thread_started_; });
+  if (state_ == State::finished) return;
+  state_ = State::running;
+  turn_ = Turn::process;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::engine; });
+  lock.unlock();
+  if (state_ == State::finished && thread_.joinable()) thread_.join();
+}
+
+void Process::switch_to_engine() {
+  std::unique_lock lock(mutex_);
+  turn_ = Turn::engine;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::process; });
+}
+
+bool Process::wait_until(Tick deadline) {
+  if (kill_requested_) throw ProcessKilled{};
+  const std::uint64_t epoch = ++wait_epoch_;
+  timed_out_ = false;
+  state_ = State::blocked;
+  if (deadline != kForever) schedule_resume(deadline, /*timeout=*/true, epoch);
+  switch_to_engine();
+  if (kill_requested_) throw ProcessKilled{};
+  return timed_out_;
+}
+
+void Process::sleep_until(Tick at) {
+  if (kill_requested_) throw ProcessKilled{};
+  const std::uint64_t epoch = ++wait_epoch_;
+  timed_out_ = false;
+  state_ = State::blocked;
+  schedule_resume(at, /*timeout=*/false, epoch);
+  switch_to_engine();
+  if (kill_requested_) throw ProcessKilled{};
+}
+
+void Process::schedule_resume(Tick at, bool timeout, std::uint64_t epoch) {
+  engine_.schedule(at, [this, timeout, epoch] {
+    if (epoch != wait_epoch_) return;  // stale: the wait already ended
+    if (state_ != State::blocked && state_ != State::runnable &&
+        state_ != State::created) {
+      return;
+    }
+    timed_out_ = timeout;
+    run_slice();
+  });
+}
+
+}  // namespace pisces::sim

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/time.hpp"
+
+namespace pisces::sim {
+
+class Engine;
+
+/// Thrown out of a blocking call when the process has been killed; the body
+/// wrapper catches it to unwind the process's stack. User code must never
+/// swallow this type (catch(...) blocks in task bodies must rethrow).
+struct ProcessKilled {};
+
+/// A cooperatively scheduled simulated process.
+///
+/// Each Process is backed by a host thread, but the Engine enforces a strict
+/// one-runnable-at-a-time handshake: at any instant either the engine loop or
+/// exactly one process body is executing. Virtual time only advances in the
+/// engine loop, so process bodies see a consistent `engine().now()` and the
+/// whole simulation is deterministic regardless of host scheduling.
+class Process {
+ public:
+  using Body = std::function<void(Process&)>;
+
+  enum class State {
+    created,   ///< spawned, body not yet started
+    blocked,   ///< waiting for a wake or timeout
+    runnable,  ///< resume event scheduled but not yet fired
+    running,   ///< body currently executing on its thread
+    finished,  ///< body returned or process killed
+  };
+
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] bool killed() const { return kill_requested_; }
+
+  // ---- Calls below are valid only from inside this process's body. ----
+
+  /// Block until another process/event wakes this one. Throws ProcessKilled
+  /// if the process is killed while waiting.
+  void wait() { (void)wait_until(kForever); }
+
+  /// Block until woken or until virtual time `deadline`. Returns true if the
+  /// deadline fired first (timeout), false if explicitly woken.
+  bool wait_until(Tick deadline);
+
+  /// Yield and resume at time `at` (>= now). Other processes run meanwhile.
+  void sleep_until(Tick at);
+
+ private:
+  friend class Engine;
+
+  Process(Engine& engine, std::uint64_t id, std::string name, Body body);
+
+  void thread_main();
+  /// Engine side: hand control to the process thread; returns when the
+  /// process blocks, yields, or finishes.
+  void run_slice();
+  /// Process side: hand control back to the engine loop.
+  void switch_to_engine();
+  /// Schedule a resume event for a blocked process. `timeout` distinguishes
+  /// a deadline expiry from an explicit wake.
+  void schedule_resume(Tick at, bool timeout, std::uint64_t epoch);
+
+  Engine& engine_;
+  const std::uint64_t id_;
+  const std::string name_;
+  Body body_;
+  State state_ = State::created;
+
+  // Handshake: whose turn it is to run. Guarded by mutex_.
+  enum class Turn { engine, process };
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::engine;
+  bool thread_started_ = false;
+
+  std::uint64_t wait_epoch_ = 0;   ///< invalidates stale resume events
+  bool timed_out_ = false;         ///< result of the last wait_until
+  bool kill_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pisces::sim

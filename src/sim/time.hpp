@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pisces::sim {
+
+/// Virtual time, in machine "ticks" (the paper's trace clock unit).
+/// All PISCES timing is expressed in ticks of the simulated FLEX/32;
+/// wall-clock time never enters the model.
+using Tick = std::int64_t;
+
+/// Sentinel for "no deadline".
+inline constexpr Tick kForever = std::numeric_limits<Tick>::max();
+
+}  // namespace pisces::sim

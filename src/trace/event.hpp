@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/ids.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::trace {
+
+/// The eight traceable event types of Section 12.
+enum class EventKind : int {
+  task_init = 0,
+  task_term = 1,
+  msg_send = 2,
+  msg_accept = 3,
+  lock = 4,
+  unlock = 5,
+  barrier_enter = 6,
+  force_split = 7,
+};
+
+inline constexpr int kEventKindCount = 8;
+
+[[nodiscard]] constexpr std::string_view kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::task_init: return "TASK-INIT";
+    case EventKind::task_term: return "TASK-TERM";
+    case EventKind::msg_send: return "MSG-SEND";
+    case EventKind::msg_accept: return "MSG-ACCEPT";
+    case EventKind::lock: return "LOCK";
+    case EventKind::unlock: return "UNLOCK";
+    case EventKind::barrier_enter: return "BARRIER";
+    case EventKind::force_split: return "FORCE-SPLIT";
+  }
+  return "?";
+}
+
+/// One trace line: "Type of event. Taskid of relevant task (or tasks).
+/// Clock reading (PE number and 'ticks' count). Other relevant information."
+struct Record {
+  EventKind kind{};
+  sim::Tick at = 0;
+  int pe = 0;
+  rt::TaskId task{};   ///< the task the event happened to
+  rt::TaskId other{};  ///< second task when relevant (e.g. message peer)
+  std::uint64_t seq = 0;  ///< correlates MSG-SEND with MSG-ACCEPT
+  std::string info;
+
+  [[nodiscard]] std::string format() const;
+};
+
+}  // namespace pisces::trace

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace pisces::trace {
+
+/// Destination for trace records. "For each type of event, a trace line of
+/// output may be displayed or written to a file" (Section 12).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void emit(const Record& r) = 0;
+};
+
+/// Keeps records in memory for programmatic analysis (and tests).
+class MemorySink : public Sink {
+ public:
+  void emit(const Record& r) override { records_.push_back(r); }
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Formats each record as one line on a stream ("display on the screen").
+class StreamSink : public Sink {
+ public:
+  explicit StreamSink(std::ostream& os) : os_(&os) {}
+  void emit(const Record& r) override { *os_ << r.format() << '\n'; }
+
+ private:
+  std::ostream* os_;
+};
+
+/// Writes trace lines to a file for off-line timing analysis.
+class FileSink : public Sink {
+ public:
+  explicit FileSink(const std::string& path) : file_(path) {
+    if (!file_) throw std::runtime_error("FileSink: cannot open " + path);
+  }
+  void emit(const Record& r) override { file_ << r.format() << '\n'; }
+  void flush() { file_.flush(); }
+
+ private:
+  std::ofstream file_;
+};
+
+}  // namespace pisces::trace

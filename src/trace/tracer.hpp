@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/sink.hpp"
+
+namespace pisces::trace {
+
+/// Event-trace controller: "Tracing may be turned on and off for each type
+/// of event and each task" (Section 12). Per-task settings override the
+/// per-kind defaults; counters are kept for every kind regardless of
+/// filtering so system statistics stay cheap.
+class Tracer {
+ public:
+  /// Enable/disable a kind globally (default: all off).
+  void set_kind(EventKind k, bool on) { kind_on_[index(k)] = on; }
+  void set_all(bool on) { kind_on_.fill(on); }
+
+  /// Per-task override for one kind; clear_task removes all overrides.
+  void set_task(rt::TaskId task, EventKind k, bool on) {
+    task_overrides_[task][index(k)] = on;
+  }
+  void clear_task(rt::TaskId task) { task_overrides_.erase(task); }
+
+  [[nodiscard]] bool enabled(EventKind k, rt::TaskId task) const {
+    auto it = task_overrides_.find(task);
+    if (it != task_overrides_.end() && it->second[index(k)].has_value()) {
+      return *it->second[index(k)];
+    }
+    return kind_on_[index(k)];
+  }
+
+  /// Sinks receive records that pass the filter. The Tracer keeps a
+  /// non-owning pointer; the sink must outlive it.
+  void add_sink(Sink* sink) { sinks_.push_back(sink); }
+
+  void record(Record r) {
+    ++counts_[index(r.kind)];
+    if (!enabled(r.kind, r.task)) return;
+    for (Sink* s : sinks_) s->emit(r);
+  }
+
+  /// Total events of a kind observed (filtered or not).
+  [[nodiscard]] std::uint64_t count(EventKind k) const { return counts_[index(k)]; }
+
+ private:
+  static std::size_t index(EventKind k) { return static_cast<std::size_t>(k); }
+
+  std::array<bool, kEventKindCount> kind_on_{};
+  std::array<std::uint64_t, kEventKindCount> counts_{};
+  std::map<rt::TaskId, std::array<std::optional<bool>, kEventKindCount>>
+      task_overrides_;
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace pisces::trace

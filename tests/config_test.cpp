@@ -1,0 +1,188 @@
+// Tests of the configuration environment (Section 9): validation rules,
+// file round-trips, the worked Section 9 mapping, and the menu editor.
+#include "config/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "config/menu.hpp"
+
+namespace pisces::config {
+namespace {
+
+flex::MachineSpec nasa_spec() { return flex::MachineSpec{}; }
+
+TEST(Validation, SimpleConfigurationIsValid) {
+  auto cfg = Configuration::simple(4);
+  EXPECT_TRUE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Validation, Section9ExampleIsValid) {
+  auto cfg = Configuration::section9_example();
+  auto errors = cfg.validate(nasa_spec());
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  // "Map clusters 1-4 to FLEX PE's 3-6, and allocate 4 slots in each."
+  for (int c = 1; c <= 4; ++c) {
+    const auto* cl = cfg.find_cluster(c);
+    ASSERT_NE(cl, nullptr);
+    EXPECT_EQ(cl->primary_pe, 2 + c);
+    EXPECT_EQ(cl->slots, 4);
+  }
+  // "Use PE's 7-15 to run forces for both clusters 3 and 4."
+  EXPECT_EQ(cfg.find_cluster(3)->secondary_pes.size(), 9u);
+  EXPECT_EQ(cfg.find_cluster(4)->secondary_pes.size(), 9u);
+  // "Use PE's 16-20 to run forces for cluster 2."
+  EXPECT_EQ(cfg.find_cluster(2)->secondary_pes.size(), 5u);
+  // "Allocate no secondary PE's ... for cluster 1."
+  EXPECT_TRUE(cfg.find_cluster(1)->secondary_pes.empty());
+}
+
+TEST(Validation, RejectsUnixPes) {
+  auto cfg = Configuration::simple(1);
+  cfg.clusters[0].primary_pe = 2;
+  auto errors = cfg.validate(nasa_spec());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("Unix"), std::string::npos);
+}
+
+TEST(Validation, RejectsDuplicatePrimaries) {
+  auto cfg = Configuration::simple(2);
+  cfg.clusters[1].primary_pe = cfg.clusters[0].primary_pe;
+  EXPECT_FALSE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Validation, RejectsDuplicateClusterNumbers) {
+  auto cfg = Configuration::simple(2);
+  cfg.clusters[1].number = cfg.clusters[0].number;
+  EXPECT_FALSE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Validation, RejectsSecondaryEqualToOwnPrimary) {
+  auto cfg = Configuration::simple(1);
+  cfg.clusters[0].secondary_pes = {cfg.clusters[0].primary_pe};
+  EXPECT_FALSE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Validation, RejectsOutOfRangeSecondaries) {
+  auto cfg = Configuration::simple(1);
+  cfg.clusters[0].secondary_pes = {21};
+  EXPECT_FALSE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Validation, RejectsNoTerminal) {
+  auto cfg = Configuration::simple(2);
+  cfg.clusters[0].has_terminal = false;
+  EXPECT_FALSE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Validation, RejectsTooManyClusters) {
+  // "The programmer can choose to use between 1 and 18 clusters."
+  Configuration cfg;
+  for (int i = 0; i < 19; ++i) {
+    ClusterConfig c;
+    c.number = i + 1;
+    c.primary_pe = 3 + (i % 18);
+    c.has_terminal = (i == 0);
+    cfg.clusters.push_back(c);
+  }
+  EXPECT_FALSE(cfg.validate(nasa_spec()).empty());
+  cfg.clusters.resize(18);
+  // 18 clusters with distinct primaries 3..20 is the maximum.
+  for (int i = 0; i < 18; ++i) cfg.clusters[static_cast<std::size_t>(i)].primary_pe = 3 + i;
+  EXPECT_TRUE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Validation, RejectsBadScalars) {
+  auto cfg = Configuration::simple(1);
+  cfg.time_limit = 0;
+  cfg.message_heap_bytes = 100;
+  auto errors = cfg.validate(nasa_spec());
+  EXPECT_EQ(errors.size(), 2u);
+}
+
+TEST(Persistence, SaveLoadRoundTrip) {
+  auto cfg = Configuration::section9_example();
+  cfg.time_limit = 123456;
+  cfg.accept_default_timeout = 777;
+  cfg.message_heap_bytes = 65536;
+  cfg.trace.set(trace::EventKind::msg_send, true);
+  cfg.trace.set(trace::EventKind::force_split, true);
+  std::stringstream ss;
+  cfg.save(ss);
+  Configuration back = Configuration::load(ss);
+  EXPECT_EQ(back.name, cfg.name);
+  EXPECT_EQ(back.time_limit, 123456);
+  EXPECT_EQ(back.accept_default_timeout, 777);
+  EXPECT_EQ(back.message_heap_bytes, 65536u);
+  ASSERT_EQ(back.clusters.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.clusters[i].number, cfg.clusters[i].number);
+    EXPECT_EQ(back.clusters[i].primary_pe, cfg.clusters[i].primary_pe);
+    EXPECT_EQ(back.clusters[i].slots, cfg.clusters[i].slots);
+    EXPECT_EQ(back.clusters[i].secondary_pes, cfg.clusters[i].secondary_pes);
+    EXPECT_EQ(back.clusters[i].has_terminal, cfg.clusters[i].has_terminal);
+  }
+  EXPECT_TRUE(back.trace.get(trace::EventKind::msg_send));
+  EXPECT_FALSE(back.trace.get(trace::EventKind::msg_accept));
+  EXPECT_TRUE(back.trace.get(trace::EventKind::force_split));
+  EXPECT_TRUE(back.validate(nasa_spec()).empty());
+}
+
+TEST(Persistence, LoadRejectsBadHeader) {
+  std::stringstream ss("not a config\n");
+  EXPECT_THROW(Configuration::load(ss), std::runtime_error);
+}
+
+TEST(Persistence, LoadRejectsUnknownKey) {
+  std::stringstream ss("pisces-config v1\nbogus 1\nend\n");
+  EXPECT_THROW(Configuration::load(ss), std::runtime_error);
+}
+
+TEST(Menu, BuildsTheSection9MappingInteractively) {
+  // Drive the configuration environment exactly as Section 9 describes.
+  ConfigMenu menu;
+  std::istringstream in(
+      "name section9\n"
+      "cluster 1\nprimary 1 3\nslots 1 4\n"
+      "cluster 2\nprimary 2 4\nslots 2 4\nsecondaries 2 16-20\n"
+      "cluster 3\nprimary 3 5\nslots 3 4\nsecondaries 3 7-15\n"
+      "cluster 4\nprimary 4 6\nslots 4 4\nsecondaries 4 7-15\n"
+      "terminal 1\n"
+      "validate\n"
+      "done\n");
+  std::ostringstream out;
+  Configuration cfg = menu.repl(in, out);
+  EXPECT_NE(out.str().find("configuration OK"), std::string::npos);
+  const auto reference = Configuration::section9_example();
+  ASSERT_EQ(cfg.clusters.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cfg.clusters[i].primary_pe, reference.clusters[i].primary_pe);
+    EXPECT_EQ(cfg.clusters[i].secondary_pes, reference.clusters[i].secondary_pes);
+  }
+}
+
+TEST(Menu, ReportsValidationErrorsAndBadCommands) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  EXPECT_TRUE(menu.apply("cluster 1", out));
+  EXPECT_TRUE(menu.apply("primary 1 1", out));  // Unix PE
+  EXPECT_TRUE(menu.apply("validate", out));
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+  EXPECT_TRUE(menu.apply("frobnicate", out));
+  EXPECT_NE(out.str().find("unknown command"), std::string::npos);
+  EXPECT_FALSE(menu.apply("done", out));
+}
+
+TEST(Menu, EditExistingConfiguration) {
+  ConfigMenu menu;
+  menu.edit(Configuration::simple(2));
+  std::ostringstream out;
+  menu.apply("slots 2 8", out);
+  menu.apply("trace MSG-SEND on", out);
+  EXPECT_EQ(menu.current().find_cluster(2)->slots, 8);
+  EXPECT_TRUE(menu.current().trace.get(trace::EventKind::msg_send));
+}
+
+}  // namespace
+}  // namespace pisces::config

@@ -1,0 +1,247 @@
+// Edge cases of the ACCEPT statement and the message machinery that the
+// main messaging suite doesn't reach: zero counts, repeated types,
+// timeout-then-retry idioms, very large argument lists, self-broadcast
+// exclusions, and per-task trace filtering through a live run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "trace/analyzer.hpp"
+
+namespace pisces::rt {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(config::Configuration cfg = config::Configuration::simple(2)) {
+    rt = std::make_unique<Runtime>(sys, std::move(cfg));
+  }
+  Runtime* operator->() { return rt.get(); }
+};
+
+void run_main_task(Fixture& f, TaskBody body) {
+  f->register_tasktype("main", std::move(body));
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+}
+
+TEST(AcceptEdge, ZeroCountIsSatisfiedImmediately) {
+  Fixture f;
+  sim::Tick waited = 0;
+  run_main_task(f, [&](TaskContext& ctx) {
+    const sim::Tick start = f.eng.now();
+    auto res = ctx.accept(AcceptSpec{}.of("never", 0));
+    waited = f.eng.now() - start;
+    EXPECT_EQ(res.total(), 0);
+    EXPECT_FALSE(res.timed_out);
+  });
+  EXPECT_EQ(waited, 0);
+}
+
+TEST(AcceptEdge, RepeatedTypeEntriesAreRejected) {
+  Fixture f;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.accept(AcceptSpec{}.of("m", 1).of("m", 5));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  EXPECT_THROW(f->run(), std::invalid_argument);
+}
+
+TEST(AcceptEdge, TimeoutThenRetryReceivesLateMessage) {
+  Fixture f;
+  int attempts = 0;
+  f->register_tasktype("slow", [](TaskContext& ctx) {
+    ctx.compute(300'000);
+    ctx.send(Dest::Parent(), "late");
+  });
+  run_main_task(f, [&](TaskContext& ctx) {
+    ctx.initiate(Where::Other(), "slow");
+    AcceptResult res;
+    do {
+      ++attempts;
+      res = ctx.accept(AcceptSpec{}.of("late").delay_for(50'000));
+    } while (res.timed_out);
+    EXPECT_EQ(res.count("late"), 1);
+  });
+  EXPECT_GT(attempts, 1);
+}
+
+TEST(AcceptEdge, AllOnEmptyQueueReturnsImmediatelyEmpty) {
+  Fixture f;
+  run_main_task(f, [&](TaskContext& ctx) {
+    auto res = ctx.accept(AcceptSpec{}.all_of("anything"));
+    EXPECT_EQ(res.total(), 0);
+    EXPECT_FALSE(res.timed_out);
+  });
+}
+
+TEST(AcceptEdge, AllDrainsAlongsideCountedTypes) {
+  Fixture f;
+  run_main_task(f, [&](TaskContext& ctx) {
+    ctx.send(Dest::Self(), "log");
+    ctx.send(Dest::Self(), "work");
+    ctx.send(Dest::Self(), "log");
+    auto res = ctx.accept(AcceptSpec{}.of("work", 1).all_of("log"));
+    EXPECT_EQ(res.count("work"), 1);
+    EXPECT_EQ(res.count("log"), 2);
+    EXPECT_EQ(ctx.pending_messages(), 0u);
+  });
+}
+
+TEST(AcceptEdge, LargeArgumentListsRoundTrip) {
+  Fixture f;
+  std::size_t got = 0;
+  run_main_task(f, [&](TaskContext& ctx) {
+    std::vector<Value> args;
+    for (int i = 0; i < 40; ++i) args.push_back(Value(i));
+    args.push_back(Value(std::vector<double>(2000, 1.5)));
+    ctx.on_message("big", [&got](TaskContext&, const Message& m) {
+      got = m.args.size();
+      EXPECT_EQ(m.args.at(40).as_real_array().size(), 2000u);
+      EXPECT_EQ(m.args.at(7).as_int(), 7);
+    });
+    ctx.send(Dest::Self(), "big", std::move(args));
+    ctx.accept(AcceptSpec{}.of("big"));
+  });
+  EXPECT_EQ(got, 41u);
+  EXPECT_EQ(f->message_heap().in_use(), 0u);
+}
+
+TEST(AcceptEdge, BroadcastExcludesSenderButNotSiblings) {
+  Fixture f(config::Configuration::simple(1));
+  int received = 0;
+  f->register_tasktype("peer", [&](TaskContext& ctx) {
+    auto res = ctx.accept(AcceptSpec{}.of("blast").delay_for(4'000'000));
+    if (res.count("blast") > 0) ++received;
+  });
+  run_main_task(f, [&](TaskContext& ctx) {
+    ctx.initiate(Where::Same(), "peer");
+    ctx.initiate(Where::Same(), "peer");
+    ctx.compute(2'000'000);
+    const int n = ctx.broadcast("blast");
+    EXPECT_EQ(n, 2);  // both peers, not the sender itself
+    // The sender's own queue stays empty.
+    EXPECT_EQ(ctx.pending_messages(), 0u);
+  });
+  EXPECT_EQ(received, 2);
+}
+
+TEST(AcceptEdge, SenderOfBroadcastIsVisibleToReceivers) {
+  Fixture f;
+  TaskId seen_sender;
+  TaskId main_id;
+  f->register_tasktype("peer", [&](TaskContext& ctx) {
+    ctx.accept(AcceptSpec{}.of("blast").forever());
+    seen_sender = ctx.sender();
+  });
+  run_main_task(f, [&](TaskContext& ctx) {
+    main_id = ctx.self();
+    ctx.initiate(Where::Other(), "peer");
+    ctx.compute(2'000'000);
+    ctx.broadcast("blast");
+  });
+  EXPECT_EQ(seen_sender, main_id);
+}
+
+TEST(TraceEdge, PerTaskOverrideFiltersARealRun) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.trace.set(trace::EventKind::msg_send, true);
+  Fixture f(cfg);
+  trace::MemorySink sink;
+  f->tracer().add_sink(&sink);
+  TaskId chatty_id;
+  TaskId quiet_id;
+  f->register_tasktype("chatty", [&](TaskContext& ctx) {
+    chatty_id = ctx.self();
+    ctx.compute(500'000);  // give the env time to set the override
+    for (int i = 0; i < 3; ++i) ctx.send(Dest::Self(), "x");
+    ctx.accept(AcceptSpec{}.of("x", 3));
+  });
+  f->register_tasktype("quiet", [&](TaskContext& ctx) {
+    quiet_id = ctx.self();
+    ctx.compute(500'000);
+    for (int i = 0; i < 3; ++i) ctx.send(Dest::Self(), "x");
+    ctx.accept(AcceptSpec{}.of("x", 3));
+  });
+  f->boot();
+  f->user_initiate(1, "chatty");
+  f->user_initiate(1, "quiet");
+  f->run_for(400'000);  // both tasks now exist with known ids
+  ASSERT_TRUE(quiet_id.valid());
+  f->tracer().set_task(quiet_id, trace::EventKind::msg_send, false);
+  f->run();
+  int chatty_sends = 0;
+  int quiet_sends = 0;
+  for (const auto& r : sink.records()) {
+    if (r.kind != trace::EventKind::msg_send) continue;
+    if (r.task == chatty_id) ++chatty_sends;
+    if (r.task == quiet_id) ++quiet_sends;
+  }
+  EXPECT_EQ(chatty_sends, 3);
+  EXPECT_EQ(quiet_sends, 0);
+}
+
+TEST(WindowEdge, WriteThroughShrunkWindowOnlyTouchesTheRect) {
+  Fixture f;
+  double corner = 0;
+  double inside = 0;
+  f->register_tasktype("owner", [&](TaskContext& ctx) {
+    auto& arr = ctx.local_array("A", 8, 8);
+    (void)arr;
+    ctx.send(Dest::Parent(), "win", {Value(ctx.make_window("A"))});
+    ctx.accept(AcceptSpec{}.of("done").forever());
+    corner = ctx.array_data("A").at(0, 0);
+    inside = ctx.array_data("A").at(3, 3);
+  });
+  run_main_task(f, [&](TaskContext& ctx) {
+    Window w;
+    ctx.on_message("win", [&w](TaskContext&, const Message& m) {
+      w = m.args.at(0).as_window();
+    });
+    ctx.initiate(Where::Other(), "owner");
+    ctx.accept(AcceptSpec{}.of("win").forever());
+    ctx.window_write(w.shrink(Rect{2, 2, 4, 4}), Matrix(4, 4, 9.0));
+    ctx.send(Dest::To(w.owner), "done");
+  });
+  EXPECT_EQ(corner, 0.0);
+  EXPECT_EQ(inside, 9.0);
+}
+
+TEST(WindowEdge, TwoTasksReadTheSameWindowConcurrently) {
+  Fixture f(config::Configuration::simple(3));
+  double sums[2] = {0, 0};
+  f->register_tasktype("reader", [&](TaskContext& ctx) {
+    Window w;
+    ctx.on_message("win", [&w](TaskContext&, const Message& m) {
+      w = m.args.at(0).as_window();
+    });
+    ctx.accept(AcceptSpec{}.of("win").forever());
+    Matrix m = ctx.window_read(w);
+    double s = 0;
+    for (double x : m.data()) s += x;
+    sums[ctx.args().at(0).as_int()] = s;
+    ctx.send(Dest::Parent(), "done");
+  });
+  run_main_task(f, [&](TaskContext& ctx) {
+    auto& arr = ctx.local_array("A", 10, 10);
+    for (auto& x : arr.data.data()) x = 2.0;
+    ctx.initiate(Where::Cluster(2), "reader", {Value(0)});
+    ctx.initiate(Where::Cluster(3), "reader", {Value(1)});
+    ctx.compute(2'000'000);
+    ctx.broadcast("win", {Value(ctx.make_window("A"))});
+    ctx.accept(AcceptSpec{}.of("done", 2).forever());
+  });
+  EXPECT_EQ(sums[0], 200.0);
+  EXPECT_EQ(sums[1], 200.0);
+  EXPECT_EQ(f->stats().window_reads, 2u);
+}
+
+}  // namespace
+}  // namespace pisces::rt

@@ -1,0 +1,356 @@
+// Tests of the force constructs (Section 7): FORCESPLIT, SHARED COMMON,
+// LOCK/CRITICAL, BARRIER (primary executes the body), PRESCHED and
+// SELFSCHED loops, PARSEG, and the member-count independence property.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "core/runtime.hpp"
+
+namespace pisces::rt {
+namespace {
+
+/// A configuration with one cluster and `secondaries` force PEs.
+config::Configuration force_config(int secondaries) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  for (int i = 0; i < secondaries; ++i) {
+    cfg.clusters[0].secondary_pes.push_back(4 + i);
+  }
+  return cfg;
+}
+
+struct Fixture {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(config::Configuration cfg) {
+    rt = std::make_unique<Runtime>(sys, std::move(cfg));
+  }
+  Runtime* operator->() { return rt.get(); }
+};
+
+/// Run `body` as the single top-level task and drive to completion.
+void run_task(Fixture& f, TaskBody body) {
+  f->register_tasktype("main", std::move(body));
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  ASSERT_FALSE(f->timed_out());
+}
+
+TEST(Force, MemberCountIsOnePlusSecondaries) {
+  Fixture f(force_config(3));
+  std::set<int> members_seen;
+  int size_seen = 0;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      members_seen.insert(fc.member());
+      size_seen = fc.members();
+    });
+  });
+  EXPECT_EQ(size_seen, 4);
+  EXPECT_EQ(members_seen, (std::set<int>{1, 2, 3, 4}));
+  EXPECT_EQ(f->stats().forcesplits, 1u);
+}
+
+TEST(Force, NoSecondariesMeansNoSplitting) {
+  Fixture f(force_config(0));
+  int calls = 0;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      ++calls;
+      EXPECT_EQ(fc.members(), 1);
+      EXPECT_TRUE(fc.is_primary());
+    });
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Force, MembersRunOnTheConfiguredSecondaryPes) {
+  Fixture f(force_config(2));
+  std::map<int, int> member_pe;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) { member_pe[fc.member()] = fc.proc().pe(); });
+  });
+  EXPECT_EQ(member_pe[1], 3);  // primary PE
+  EXPECT_EQ(member_pe[2], 4);
+  EXPECT_EQ(member_pe[3], 5);
+}
+
+TEST(Force, PrimaryContinuesAloneAfterRegion) {
+  Fixture f(force_config(3));
+  int after_region = 0;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) { fc.compute(1000); });
+    ++after_region;  // must run exactly once (primary only)
+  });
+  EXPECT_EQ(after_region, 1);
+}
+
+TEST(Force, BarrierBodyRunsOnPrimaryAfterAllArrive) {
+  Fixture f(force_config(3));
+  std::vector<int> arrivals;
+  int body_runs = 0;
+  int body_member = 0;
+  bool any_after_before_body = false;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      // Spread out arrival times.
+      fc.compute(1000 * fc.member());
+      arrivals.push_back(fc.member());
+      fc.barrier([&](ForceContext& b) {
+        ++body_runs;
+        body_member = b.member();
+        if (arrivals.size() != 4) any_after_before_body = true;
+      });
+    });
+  });
+  EXPECT_EQ(body_runs, 1);
+  EXPECT_EQ(body_member, 1);
+  EXPECT_FALSE(any_after_before_body);
+}
+
+TEST(Force, RepeatedBarriersStayInLockstep) {
+  Fixture f(force_config(2));
+  std::vector<int> phase_of_member(4, 0);
+  bool skew_detected = false;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      for (int round = 1; round <= 5; ++round) {
+        fc.compute(500 * fc.member());
+        phase_of_member[static_cast<std::size_t>(fc.member())] = round;
+        fc.barrier([&](ForceContext&) {
+          for (int m = 1; m <= 3; ++m) {
+            if (phase_of_member[static_cast<std::size_t>(m)] != round) {
+              skew_detected = true;
+            }
+          }
+        });
+      }
+    });
+  });
+  EXPECT_FALSE(skew_detected);
+}
+
+TEST(Force, CriticalSectionsAreMutuallyExclusive) {
+  Fixture f(force_config(4));
+  int in_section = 0;
+  int max_in_section = 0;
+  std::int64_t counter = 0;
+  run_task(f, [&](TaskContext& ctx) {
+    auto& lock = ctx.lock_var("L");
+    ctx.forcesplit([&](ForceContext& fc) {
+      for (int i = 0; i < 10; ++i) {
+        fc.critical(lock, [&] {
+          ++in_section;
+          max_in_section = std::max(max_in_section, in_section);
+          fc.compute(137);  // hold the lock across virtual time
+          ++counter;
+          --in_section;
+        });
+        fc.compute(50);
+      }
+    });
+  });
+  EXPECT_EQ(max_in_section, 1);
+  EXPECT_EQ(counter, 50);
+}
+
+TEST(Force, LockReleaseByNonOwnerThrows) {
+  Fixture f(force_config(0));
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    auto& lock = ctx.lock_var("L");
+    lock.release(ctx.proc(), ctx.record());
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  EXPECT_THROW(f->run(), std::logic_error);
+}
+
+TEST(Force, PreschedPartitionsByResidueClass) {
+  Fixture f(force_config(2));  // 3 members
+  std::map<int, std::vector<std::int64_t>> taken;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      fc.presched(1, 10, 1, [&](std::int64_t i) {
+        taken[fc.member()].push_back(i);
+      });
+    });
+  });
+  // "The Ith force member takes iterations I, N+I, 2*N+I, etc."
+  EXPECT_EQ(taken[1], (std::vector<std::int64_t>{1, 4, 7, 10}));
+  EXPECT_EQ(taken[2], (std::vector<std::int64_t>{2, 5, 8}));
+  EXPECT_EQ(taken[3], (std::vector<std::int64_t>{3, 6, 9}));
+}
+
+TEST(Force, PreschedHandlesStepsAndEmptyRanges) {
+  Fixture f(force_config(1));
+  std::vector<std::int64_t> indices;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      fc.presched(10, 1, -3, [&](std::int64_t i) {
+        if (fc.is_primary()) indices.push_back(i);
+      });
+      fc.presched(5, 4, 1, [&](std::int64_t) { indices.push_back(-99); });
+    });
+  });
+  // Descending loop 10,7,4,1: primary (member 1) takes positions 0 and 2.
+  EXPECT_EQ(indices, (std::vector<std::int64_t>{10, 4}));
+}
+
+TEST(Force, SelfschedCoversEachIterationExactlyOnce) {
+  Fixture f(force_config(3));
+  std::vector<int> hits(40, 0);
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      fc.selfsched(0, 39, 1, [&](std::int64_t i) {
+        ++hits[static_cast<std::size_t>(i)];
+        fc.compute(100 + 13 * (i % 7));
+      });
+    });
+  });
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Force, ConsecutiveSelfschedLoopsDontInterfere) {
+  Fixture f(force_config(2));
+  std::int64_t sum1 = 0;
+  std::int64_t sum2 = 0;
+  run_task(f, [&](TaskContext& ctx) {
+    auto& lock = ctx.lock_var("sum");
+    ctx.forcesplit([&](ForceContext& fc) {
+      fc.selfsched(1, 10, 1, [&](std::int64_t i) {
+        fc.critical(lock, [&] { sum1 += i; });
+      });
+      fc.barrier();
+      fc.selfsched(1, 20, 1, [&](std::int64_t i) {
+        fc.critical(lock, [&] { sum2 += i; });
+      });
+    });
+  });
+  EXPECT_EQ(sum1, 55);
+  EXPECT_EQ(sum2, 210);
+}
+
+TEST(Force, ParsegDistributesSegmentsLikePresched) {
+  Fixture f(force_config(1));  // 2 members
+  std::map<int, std::vector<int>> segs;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      fc.parseg({[&] { segs[fc.member()].push_back(0); },
+                 [&] { segs[fc.member()].push_back(1); },
+                 [&] { segs[fc.member()].push_back(2); }});
+    });
+  });
+  EXPECT_EQ(segs[1], (std::vector<int>{0, 2}));
+  EXPECT_EQ(segs[2], (std::vector<int>{1}));
+}
+
+TEST(Force, SharedCommonVisibleToAllMembers) {
+  Fixture f(force_config(3));
+  double result = 0;
+  run_task(f, [&](TaskContext& ctx) {
+    auto& blk = ctx.shared_common("BLK", 8);
+    ctx.forcesplit([&](ForceContext& fc) {
+      auto& b = fc.shared_common("BLK", 8);  // same block by name
+      b.write(fc.proc(), static_cast<std::size_t>(fc.member() - 1),
+              static_cast<double>(fc.member()));
+      fc.barrier();
+      if (fc.is_primary()) {
+        double sum = 0;
+        for (int i = 0; i < 4; ++i) {
+          sum += b.read(fc.proc(), static_cast<std::size_t>(i));
+        }
+        result = sum;
+      }
+    });
+    (void)blk;
+  });
+  EXPECT_EQ(result, 1 + 2 + 3 + 4);
+}
+
+TEST(Force, SharedCommonRedeclarationMismatchThrows) {
+  Fixture f(force_config(0));
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.shared_common("B", 8);
+    ctx.shared_common("B", 16);
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  EXPECT_THROW(f->run(), std::logic_error);
+}
+
+TEST(Force, SharedCommonAreaIsFreedAtTaskEnd) {
+  Fixture f(force_config(0));
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.shared_common("B1", 512);
+    ctx.shared_common("B2", 1024);
+    EXPECT_EQ(f->common_heap().in_use(), (512u + 1024u) * 8);
+  });
+  EXPECT_EQ(f->common_heap().in_use(), 0u);
+}
+
+// Jordan's key property: "The same program text may be executed without
+// change by a force of any number of members -- only the performance of the
+// program will change, not its semantics."
+class ForceSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForceSizeTest, SemanticsIndependentOfMemberCount) {
+  const int secondaries = GetParam();
+  Fixture f(force_config(secondaries));
+  std::int64_t dot = 0;
+  sim::Tick elapsed = 0;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    auto& lock = ctx.lock_var("acc");
+    const sim::Tick start = f.eng.now();
+    ctx.forcesplit([&](ForceContext& fc) {
+      std::int64_t local = 0;
+      fc.presched(1, 200, 1, [&](std::int64_t i) {
+        local += i * i;
+        fc.compute(200);
+      });
+      fc.critical(lock, [&] { dot += local; });
+    });
+    elapsed = f.eng.now() - start;
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  // sum i^2, i=1..200
+  EXPECT_EQ(dot, 200LL * 201 * 401 / 6);
+  EXPECT_GT(elapsed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Members, ForceSizeTest, ::testing::Values(0, 1, 2, 5, 9));
+
+TEST(Force, MoreMembersFinishSoonerOnParallelWork) {
+  auto run_with = [](int secondaries) {
+    Fixture f(force_config(secondaries));
+    sim::Tick elapsed = 0;
+    f->register_tasktype("main", [&](TaskContext& ctx) {
+      const sim::Tick start = f.eng.now();
+      ctx.forcesplit([&](ForceContext& fc) {
+        fc.presched(1, 64, 1, [&](std::int64_t) { fc.compute(20'000); });
+      });
+      elapsed = f.eng.now() - start;
+    });
+    f->boot();
+    f->user_initiate(1, "main");
+    f->run();
+    return elapsed;
+  };
+  const sim::Tick t1 = run_with(0);
+  const sim::Tick t4 = run_with(3);
+  const sim::Tick t8 = run_with(7);
+  EXPECT_GT(t1, t4);
+  EXPECT_GT(t4, t8);
+  // Roughly linear speedup on embarrassingly parallel work.
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t4), 3.0);
+}
+
+}  // namespace
+}  // namespace pisces::rt

@@ -1,0 +1,548 @@
+// Tests of the PISCES 2 task and message-passing semantics (Sections 5, 6):
+// initiation, taskids, cluster selectors, SEND destinations, ACCEPT counting
+// modes, SIGNAL vs HANDLER processing, timeouts, broadcast, slots.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "trace/analyzer.hpp"
+
+namespace pisces::rt {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(config::Configuration cfg = config::Configuration::simple(2)) {
+    rt = std::make_unique<Runtime>(sys, std::move(cfg));
+  }
+  Runtime& operator*() { return *rt; }
+  Runtime* operator->() { return rt.get(); }
+};
+
+TEST(Boot, RejectsInvalidConfiguration) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.clusters[0].primary_pe = 1;  // Unix PE
+  Fixture f(cfg);
+  EXPECT_THROW(f->boot(), std::invalid_argument);
+}
+
+TEST(Boot, StartsControllersInEveryCluster) {
+  Fixture f(config::Configuration::simple(3));
+  f->boot();
+  f->run();
+  for (int c = 1; c <= 3; ++c) {
+    const auto& cl = f->cluster(c);
+    EXPECT_EQ(cl.slot(kTaskControllerSlot).state, TaskState::running);
+    EXPECT_TRUE(cl.controller_id().valid());
+  }
+  // Terminal (user controller) only on cluster 1.
+  EXPECT_EQ(f->cluster(1).slot(kUserControllerSlot).state, TaskState::running);
+  EXPECT_EQ(f->cluster(2).slot(kUserControllerSlot).state, TaskState::free_slot);
+}
+
+TEST(Initiate, TopLevelTaskRunsWithArgsAndParent) {
+  Fixture f;
+  TaskId observed_parent;
+  std::int64_t observed_arg = 0;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    observed_parent = ctx.parent();
+    observed_arg = ctx.args().at(0).as_int();
+  });
+  f->boot();
+  f->user_initiate(1, "main", {Value(42)});
+  f->run();
+  EXPECT_EQ(observed_arg, 42);
+  // A top-level task's parent is the user controller, so TO PARENT SEND
+  // reaches the terminal.
+  EXPECT_EQ(observed_parent, f->user_controller_id());
+  EXPECT_EQ(f->stats().tasks_started, 1u);
+  EXPECT_EQ(f->stats().tasks_finished, 1u);
+}
+
+TEST(Initiate, ChildTaskIdHasRequestedCluster) {
+  Fixture f;
+  TaskId child_id;
+  f->register_tasktype("child", [&](TaskContext& ctx) { child_id = ctx.self(); });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Cluster(2), "child");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(child_id.cluster, 2);
+  EXPECT_GE(child_id.slot, kFirstUserSlot);
+  EXPECT_TRUE(child_id.valid());
+}
+
+TEST(Initiate, SameAndOtherSelectors) {
+  Fixture f;
+  int same_cluster = 0;
+  int other_cluster = 0;
+  f->register_tasktype("a", [&](TaskContext& ctx) { same_cluster = ctx.cluster(); });
+  f->register_tasktype("b", [&](TaskContext& ctx) { other_cluster = ctx.cluster(); });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Same(), "a");
+    ctx.initiate(Where::Other(), "b");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(same_cluster, 1);
+  EXPECT_EQ(other_cluster, 2);
+}
+
+TEST(Initiate, AnyPicksClusterWithMostFreeSlots) {
+  Fixture f(config::Configuration::simple(3));
+  int landed = 0;
+  f->register_tasktype("sleeper", [&](TaskContext& ctx) {
+    ctx.accept(AcceptSpec{}.of("go").forever());
+  });
+  f->register_tasktype("probe", [&](TaskContext& ctx) { landed = ctx.cluster(); });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    // Fill cluster 1 (SAME) partially so ANY prefers cluster 2 or 3;
+    // fill cluster 2 fully.
+    for (int i = 0; i < 2; ++i) ctx.initiate(Where::Cluster(1), "sleeper");
+    for (int i = 0; i < 4; ++i) ctx.initiate(Where::Cluster(2), "sleeper");
+    ctx.compute(2'000'000);  // let them start
+    ctx.initiate(Where::Any(), "probe");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(landed, 3);
+}
+
+TEST(Initiate, UnknownTasktypeReportsToConsole) {
+  Fixture f;
+  f->boot();
+  f->user_initiate(1, "nonesuch");
+  f->run();
+  EXPECT_TRUE(f->console().contains("unknown tasktype 'nonesuch'"));
+  EXPECT_EQ(f->stats().tasks_started, 0u);
+}
+
+TEST(Initiate, HeldUntilSlotFrees) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.clusters[0].slots = 1;  // a single user slot
+  Fixture f(cfg);
+  std::vector<int> order;
+  f->register_tasktype("job", [&](TaskContext& ctx) {
+    order.push_back(static_cast<int>(ctx.args().at(0).as_int()));
+    ctx.compute(10'000);
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int i = 1; i <= 3; ++i) ctx.initiate(Where::Same(), "job", {Value(i)});
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  // main occupies the slot first; each job waits for the previous.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_GE(f->stats().initiates_held, 2u);
+}
+
+TEST(Messages, RoundTripWithSenderAndArgs) {
+  Fixture f;
+  std::int64_t got = 0;
+  TaskId child_sender;
+  f->register_tasktype("child", [&](TaskContext& ctx) {
+    // Child announces itself to the parent, then waits for work.
+    ctx.send(Dest::Parent(), "hello", {Value(ctx.self())});
+    auto res = ctx.accept(AcceptSpec{}.of("work").forever());
+    EXPECT_EQ(res.count("work"), 1);
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.on_message("hello", [&](TaskContext& c, const Message& m) {
+      child_sender = m.sender;
+      EXPECT_EQ(m.args.at(0).as_taskid(), m.sender);
+      // SENDER destination answers the most recent sender.
+      c.send(Dest::Sender(), "work", {Value(7)});
+      got = 7;
+    });
+    ctx.initiate(Where::Other(), "child");
+    ctx.accept(AcceptSpec{}.of("hello").forever());
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(got, 7);
+  EXPECT_TRUE(child_sender.valid());
+  EXPECT_EQ(child_sender.cluster, 2);
+  EXPECT_EQ(f->stats().dead_letters, 0u);
+}
+
+TEST(Messages, SignalTypesAreCountedNotHandled) {
+  Fixture f;
+  int accepted = 0;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.send(Dest::Self(), "ping");
+    ctx.send(Dest::Self(), "ping");
+    auto res = ctx.accept(AcceptSpec{}.of("ping", 2));
+    accepted = res.count("ping");
+    EXPECT_FALSE(res.timed_out);
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(accepted, 2);
+}
+
+TEST(Messages, FifoWithinQueueAndUnmatchedStay) {
+  Fixture f;
+  std::vector<std::string> handled;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.send(Dest::Self(), "b", {Value(1)});
+    ctx.send(Dest::Self(), "a", {Value(2)});
+    ctx.send(Dest::Self(), "b", {Value(3)});
+    ctx.on_message("b", [&](TaskContext&, const Message& m) {
+      handled.push_back("b" + std::to_string(m.args[0].as_int()));
+    });
+    ctx.on_message("a", [&](TaskContext&, const Message& m) {
+      handled.push_back("a" + std::to_string(m.args[0].as_int()));
+    });
+    // Only accept 'b' messages; 'a' must remain queued, order preserved.
+    ctx.accept(AcceptSpec{}.of("b", 2));
+    EXPECT_EQ(ctx.pending_messages(), 1u);
+    ctx.accept(AcceptSpec{}.of("a", 1));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(handled, (std::vector<std::string>{"b1", "b3", "a2"}));
+}
+
+TEST(Accept, TotalModeMixesListedTypes) {
+  Fixture f;
+  AcceptResult res;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.send(Dest::Self(), "x");
+    ctx.send(Dest::Self(), "y");
+    ctx.send(Dest::Self(), "x");
+    ctx.send(Dest::Self(), "z");  // not listed: must stay queued
+    res = ctx.accept(AcceptSpec{}.of("x").of("y").total(3));
+    EXPECT_EQ(ctx.pending_messages(), 1u);
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(res.total(), 3);
+  EXPECT_EQ(res.count("x"), 2);
+  EXPECT_EQ(res.count("y"), 1);
+  EXPECT_FALSE(res.timed_out);
+}
+
+TEST(Accept, AllProcessesEverythingReceivedWithoutWaiting) {
+  Fixture f;
+  AcceptResult res;
+  sim::Tick waited = 0;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int i = 0; i < 5; ++i) ctx.send(Dest::Self(), "tick");
+    const sim::Tick before = f.eng.now();
+    res = ctx.accept(AcceptSpec{}.all_of("tick"));
+    waited = f.eng.now() - before;
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(res.count("tick"), 5);
+  EXPECT_FALSE(res.timed_out);
+  // Accept-processing cost only; no timeout wait.
+  EXPECT_LT(waited, 10'000);
+}
+
+TEST(Accept, DelayClauseRunsThenBody) {
+  Fixture f;
+  bool delay_body_ran = false;
+  AcceptResult res;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    res = ctx.accept(AcceptSpec{}.of("never").delay_for(
+        5'000, [&] { delay_body_ran = true; }));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_TRUE(res.timed_out);
+  EXPECT_TRUE(delay_body_ran);
+  EXPECT_EQ(res.count("never"), 0);
+  EXPECT_EQ(f->stats().accept_timeouts, 1u);
+}
+
+TEST(Accept, SystemTimeoutMessageWithoutDelayClause) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.accept_default_timeout = 3'000;
+  Fixture f(cfg);
+  AcceptResult res;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    res = ctx.accept(AcceptSpec{}.of("never"));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_TRUE(res.timed_out);
+  EXPECT_EQ(res.count(kTimeoutType), 1);
+}
+
+TEST(Accept, PartialArrivalThenTimeout) {
+  Fixture f;
+  AcceptResult res;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.send(Dest::Self(), "data");
+    res = ctx.accept(AcceptSpec{}.of("data", 3).delay_for(10'000));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_TRUE(res.timed_out);
+  EXPECT_EQ(res.count("data"), 1);
+}
+
+TEST(Accept, NestedAcceptInHandlerThrows) {
+  Fixture f;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.on_message("m", [](TaskContext& c, const Message&) {
+      c.accept(AcceptSpec{}.of("other"));
+    });
+    ctx.send(Dest::Self(), "m");
+    ctx.accept(AcceptSpec{}.of("m"));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  EXPECT_THROW(f->run(), std::logic_error);
+}
+
+TEST(Accept, EmptySpecThrows) {
+  Fixture f;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.accept(AcceptSpec{});
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  EXPECT_THROW(f->run(), std::invalid_argument);
+}
+
+TEST(Messages, StaleTaskIdIsDeadLetter) {
+  Fixture f;
+  TaskId child_id;
+  bool sent_ok = true;
+  f->register_tasktype("child", [&](TaskContext& ctx) {
+    ctx.send(Dest::Parent(), "done", {Value(ctx.self())});
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Same(), "child");
+    ctx.accept(AcceptSpec{}.of("done").forever());
+    child_id = ctx.sender();
+    ctx.compute(1'000'000);  // child has long since terminated
+    sent_ok = ctx.send(Dest::To(child_id), "late");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_FALSE(sent_ok);
+  EXPECT_GE(f->stats().dead_letters, 1u);
+}
+
+TEST(Messages, BroadcastToClusterAndEverywhere) {
+  Fixture f(config::Configuration::simple(3));
+  int c1_hits = 0;
+  int everywhere_hits = 0;
+  f->register_tasktype("listener", [&](TaskContext& ctx) {
+    auto r1 = ctx.accept(AcceptSpec{}.of("round1").delay_for(4'000'000));
+    if (r1.count("round1") > 0) ++c1_hits;
+    auto r2 = ctx.accept(AcceptSpec{}.of("round2").delay_for(4'000'000));
+    if (r2.count("round2") > 0) ++everywhere_hits;
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int c = 1; c <= 3; ++c) ctx.initiate(Where::Cluster(c), "listener");
+    ctx.compute(2'000'000);  // listeners reach their accepts
+    ctx.broadcast("round1", {}, 2);  // TO ALL CLUSTER 2
+    ctx.broadcast("round2");         // TO ALL
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(c1_hits, 1);         // only the cluster-2 listener
+  EXPECT_EQ(everywhere_hits, 3); // all listeners
+}
+
+TEST(Messages, SendToUserPrintsOnTerminal) {
+  Fixture f;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.send(Dest::User(), "result", {Value(3.5), Value("done")});
+    ctx.print("plain text line");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_TRUE(f->console().contains("result(3.5"));
+  EXPECT_TRUE(f->console().contains("plain text line"));
+}
+
+TEST(Messages, SendToTaskControllerIsDeliverable) {
+  Fixture f;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.send(Dest::TContr(2), "bogus-user-msg");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(f->stats().controller_unknown_messages, 1u);
+}
+
+TEST(Heap, MessageStorageIsRecoveredAfterAccept) {
+  Fixture f;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.send(Dest::Self(), "blob", {Value(std::vector<double>(100, 1.0))});
+    }
+    EXPECT_GT(f->message_heap().in_use(), 8000u);
+    ctx.accept(AcceptSpec{}.of("blob", 10));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(f->message_heap().in_use(), 0u);
+  EXPECT_GT(f->message_heap().peak_in_use(), 8000u);
+}
+
+TEST(Heap, SenderBlocksWhenHeapFullAndRecovers) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.message_heap_bytes = 8192;  // tiny
+  Fixture f(cfg);
+  int received = 0;
+  f->register_tasktype("sink", [&](TaskContext& ctx) {
+    // Accept slowly so the sender outruns the heap.
+    for (int i = 0; i < 20; ++i) {
+      auto res = ctx.accept(AcceptSpec{}.of("blob").forever());
+      received += res.count("blob");
+      ctx.compute(50'000);
+    }
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Other(), "sink");
+    ctx.compute(1'000'000);
+    for (int i = 0; i < 20; ++i) {
+      ctx.send(Dest::To(f->cluster(2).slot(kFirstUserSlot).id), "blob",
+               {Value(std::vector<double>(120, 0.0))});
+    }
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(received, 20);
+  EXPECT_GT(f->stats().heap_full_waits, 0u);
+  EXPECT_EQ(f->message_heap().in_use(), 0u);
+}
+
+TEST(Control, KillTaskFreesSlotAndQueue) {
+  Fixture f;
+  TaskId victim_id;
+  f->register_tasktype("victim", [&](TaskContext& ctx) {
+    victim_id = ctx.self();
+    ctx.accept(AcceptSpec{}.of("never").forever());
+  });
+  f->boot();
+  f->user_initiate(1, "victim");
+  f->run_for(2'000'000);
+  ASSERT_TRUE(victim_id.valid());
+  f->user_send(victim_id, "stuffing", {Value(std::vector<double>(50, 0.0))});
+  f->run_for(1'000'000);
+  EXPECT_TRUE(f->kill_task(victim_id));
+  f->run();
+  EXPECT_EQ(f->stats().tasks_killed, 1u);
+  EXPECT_EQ(f->find_record(victim_id), nullptr);
+  EXPECT_EQ(f->message_heap().in_use(), 0u);
+  // Killing again (stale id) fails cleanly.
+  EXPECT_FALSE(f->kill_task(victim_id));
+}
+
+TEST(Control, DeleteMessagesByType) {
+  Fixture f;
+  TaskId id;
+  f->register_tasktype("t", [&](TaskContext& ctx) {
+    id = ctx.self();
+    ctx.accept(AcceptSpec{}.of("go").forever());
+    EXPECT_EQ(ctx.pending_messages(), 1u);  // only 'keep' remains
+  });
+  f->boot();
+  f->user_initiate(1, "t");
+  f->run_for(2'000'000);
+  f->user_send(id, "junk");
+  f->user_send(id, "keep");
+  f->user_send(id, "junk");
+  f->run_for(100'000);
+  EXPECT_EQ(f->delete_messages(id, "junk"), 2);
+  f->user_send(id, "go");
+  f->run();
+  EXPECT_EQ(f->stats().messages_deleted, 2u);
+}
+
+TEST(Control, TimeLimitStopsRun) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.time_limit = 50'000;
+  Fixture f(cfg);
+  bool finished = false;
+  f->register_tasktype("long", [&](TaskContext& ctx) {
+    ctx.compute(10'000'000);
+    finished = true;
+  });
+  f->boot();
+  f->user_initiate(1, "long");
+  f->run();
+  EXPECT_FALSE(finished);
+  EXPECT_TRUE(f->timed_out());
+  EXPECT_TRUE(f->console().contains("TIME LIMIT"));
+}
+
+TEST(Trace, EventsRecordedWithFilters) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.trace.set(trace::EventKind::task_init, true);
+  cfg.trace.set(trace::EventKind::task_term, true);
+  cfg.trace.set(trace::EventKind::msg_send, true);
+  cfg.trace.set(trace::EventKind::msg_accept, true);
+  Fixture f(cfg);
+  trace::MemorySink sink;
+  f->tracer().add_sink(&sink);
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.send(Dest::Self(), "m");
+    ctx.accept(AcceptSpec{}.of("m"));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  trace::Analyzer an(sink.records());
+  EXPECT_EQ(an.count(trace::EventKind::task_init), 1u);
+  EXPECT_EQ(an.count(trace::EventKind::task_term), 1u);
+  EXPECT_GE(an.count(trace::EventKind::msg_send), 1u);
+  auto timings = an.task_timings();
+  ASSERT_GE(timings.size(), 1u);
+  bool found = false;
+  for (const auto& t : timings) {
+    if (t.lifetime().has_value()) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Message latency matched by sequence number.
+  EXPECT_GT(an.message_timings().size(), 0u);
+}
+
+TEST(Stats, MessageAccountingBalances) {
+  Fixture f;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int i = 0; i < 4; ++i) ctx.send(Dest::Self(), "m");
+    ctx.accept(AcceptSpec{}.of("m", 4));
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  // 4 user messages + 1 initiate request.
+  EXPECT_EQ(f->stats().messages_sent, 5u);
+  EXPECT_EQ(f->stats().messages_accepted, 5u);
+  EXPECT_GT(f->stats().message_bytes_sent, 0u);
+}
+
+}  // namespace
+}  // namespace pisces::rt

@@ -1,0 +1,165 @@
+// Tests of the execution environment (Section 11): all ten menu operations
+// against a live runtime, plus the Figure-1 organization rendering.
+#include "exec/execution_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pisces::exec {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  std::unique_ptr<rt::Runtime> runtime;
+  std::unique_ptr<ExecutionEnvironment> env;
+
+  explicit Fixture(config::Configuration cfg = config::Configuration::simple(2)) {
+    runtime = std::make_unique<rt::Runtime>(sys, std::move(cfg));
+    runtime->register_tasktype("idle", [](rt::TaskContext& ctx) {
+      ctx.accept(rt::AcceptSpec{}.of("stop").forever());
+    });
+    runtime->register_tasktype("quick", [](rt::TaskContext& ctx) {
+      ctx.compute(1000);
+    });
+    runtime->boot();
+    env = std::make_unique<ExecutionEnvironment>(*runtime);
+  }
+};
+
+rt::TaskId first_user_task(rt::Runtime& rt) {
+  for (const auto& info : rt.running_tasks()) {
+    if (info.id.slot >= rt::kFirstUserSlot) return info.id;
+  }
+  return {};
+}
+
+TEST(ExecEnv, InitiateAndDisplayTasks) {
+  Fixture f;
+  std::ostringstream out;
+  f.env->initiate_task(out, 1, "idle");
+  f.runtime->run_for(2'000'000);
+  f.env->display_tasks(out);
+  EXPECT_NE(out.str().find("idle"), std::string::npos);
+  EXPECT_NE(out.str().find("RUNNING"), std::string::npos);
+}
+
+TEST(ExecEnv, InitiateToBadClusterReportsError) {
+  Fixture f;
+  std::ostringstream out;
+  f.env->initiate_task(out, 9, "idle");
+  EXPECT_NE(out.str().find("INITIATE failed"), std::string::npos);
+}
+
+TEST(ExecEnv, KillTask) {
+  Fixture f;
+  std::ostringstream out;
+  f.env->initiate_task(out, 1, "idle");
+  f.runtime->run_for(2'000'000);
+  const rt::TaskId id = first_user_task(*f.runtime);
+  ASSERT_TRUE(id.valid());
+  f.env->kill_task(out, id);
+  f.runtime->run_for(1'000'000);
+  EXPECT_NE(out.str().find("task killed"), std::string::npos);
+  EXPECT_EQ(f.runtime->find_record(id), nullptr);
+  f.env->kill_task(out, id);
+  EXPECT_NE(out.str().find("no such running user task"), std::string::npos);
+}
+
+TEST(ExecEnv, SendDeleteAndDisplayQueue) {
+  Fixture f;
+  std::ostringstream out;
+  f.env->initiate_task(out, 1, "idle");
+  f.runtime->run_for(2'000'000);
+  const rt::TaskId id = first_user_task(*f.runtime);
+  f.env->send_message(out, id, "junk");
+  f.env->send_message(out, id, "junk");
+  f.runtime->run_for(100'000);
+  f.env->display_queue(out, id);
+  EXPECT_NE(out.str().find("2 messages"), std::string::npos);
+  f.env->delete_messages(out, id, "junk");
+  EXPECT_NE(out.str().find("2 message(s) deleted"), std::string::npos);
+}
+
+TEST(ExecEnv, DumpStateAndPeLoading) {
+  Fixture f;
+  std::ostringstream out;
+  f.env->initiate_task(out, 1, "quick");
+  f.runtime->run_for(5'000'000);
+  f.env->dump_state(out);
+  f.env->display_pe_loading(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("SYSTEM STATE DUMP"), std::string::npos);
+  EXPECT_NE(s.find("messages: sent="), std::string::npos);
+  EXPECT_NE(s.find("message heap:"), std::string::npos);
+  EXPECT_NE(s.find("PE LOADING"), std::string::npos);
+  EXPECT_NE(s.find("PE  3"), std::string::npos);
+}
+
+TEST(ExecEnv, ChangeTraceOptions) {
+  Fixture f;
+  std::ostringstream out;
+  f.env->change_trace(out, "MSG-SEND", true);
+  EXPECT_TRUE(f.runtime->tracer().enabled(trace::EventKind::msg_send, {}));
+  f.env->change_trace(out, "MSG-SEND", false);
+  EXPECT_FALSE(f.runtime->tracer().enabled(trace::EventKind::msg_send, {}));
+  f.env->change_trace(out, "NOT-A-KIND", true);
+  EXPECT_NE(out.str().find("unknown event kind"), std::string::npos);
+}
+
+TEST(ExecEnv, ChangeTraceForSingleTask) {
+  Fixture f;
+  std::ostringstream out;
+  f.env->initiate_task(out, 1, "idle");
+  f.runtime->run_for(2'000'000);
+  const rt::TaskId id = first_user_task(*f.runtime);
+  ASSERT_TRUE(id.valid());
+  f.env->change_trace(out, "MSG-SEND", true);
+  f.env->change_trace_for_task(out, id, "MSG-SEND", false);
+  EXPECT_TRUE(f.runtime->tracer().enabled(trace::EventKind::msg_send, {}));
+  EXPECT_FALSE(f.runtime->tracer().enabled(trace::EventKind::msg_send, id));
+  EXPECT_NE(out.str().find("for " + id.str()), std::string::npos);
+  f.env->change_trace_for_task(out, id, "BOGUS", true);
+  EXPECT_NE(out.str().find("unknown event kind"), std::string::npos);
+}
+
+TEST(ExecEnv, ReplDrivesTheMenu) {
+  Fixture f;
+  std::istringstream in(
+      "1\n1 idle\n"
+      "5\n"
+      "7\n"
+      "8\n"
+      "9\nMSG-SEND on\n"
+      "0\n");
+  std::ostringstream out;
+  f.env->repl(in, out, 100'000);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("PISCES EXECUTION ENVIRONMENT"), std::string::npos);
+  EXPECT_NE(s.find("initiate request sent"), std::string::npos);
+  EXPECT_NE(s.find("RUNNING TASKS"), std::string::npos);
+  EXPECT_NE(s.find("SYSTEM STATE DUMP"), std::string::npos);
+  EXPECT_NE(s.find("trace MSG-SEND on"), std::string::npos);
+  EXPECT_NE(s.find("RUN TERMINATED"), std::string::npos);
+}
+
+TEST(ExecEnv, OrganizationRenderingMatchesFigure1Structure) {
+  config::Configuration cfg = config::Configuration::section9_example();
+  Fixture f(cfg);
+  std::ostringstream out;
+  f.runtime->run_for(1'000'000);
+  f.env->display_organization(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("CLUSTER 1"), std::string::npos);
+  EXPECT_NE(s.find("CLUSTER 4"), std::string::npos);
+  EXPECT_NE(s.find("_TCONTR"), std::string::npos);
+  EXPECT_NE(s.find("terminal"), std::string::npos);
+  EXPECT_NE(s.find("<not in use>"), std::string::npos);
+  EXPECT_NE(s.find("force PEs: 7 8 9 10 11 12 13 14 15"), std::string::npos);
+  EXPECT_NE(s.find("message-passing network"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pisces::exec

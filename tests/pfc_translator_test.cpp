@@ -1,0 +1,413 @@
+// Tests of the Pisces Fortran preprocessor (Section 10): every extension
+// translates to standard Fortran 77 + PIS* run-time calls; plain Fortran
+// passes through untouched; malformed constructs produce diagnostics.
+#include "pfc/translator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pfc/source.hpp"
+
+namespace pisces::pfc {
+namespace {
+
+TranslateResult tr(const std::string& src) { return Translator{}.translate(src); }
+
+/// True if `needle` occurs in `haystack`.
+bool has(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Source, SplitsLabelsCommentsAndContinuations) {
+  auto lines = read_source("C a comment\n"
+                           "10    X = 1\n"
+                           "      Y = 2 +\n"
+                           "     & 3\n"
+                           "      Z = 4\n"
+                           "     1  + 5\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(lines[0].is_comment);
+  EXPECT_EQ(lines[1].label, "10");
+  EXPECT_EQ(lines[1].text, "X = 1");
+  EXPECT_EQ(lines[2].text, "Y = 2 + 3");   // '&' continuation
+  EXPECT_EQ(lines[3].text, "Z = 4 + 5");   // fixed-form column-6 continuation
+}
+
+TEST(Source, KeywordMatchingRespectsWordBoundaries) {
+  EXPECT_TRUE(starts_with_keyword("TO PARENT SEND X()", "TO"));
+  EXPECT_FALSE(starts_with_keyword("TOTAL = 1", "TO"));
+  EXPECT_TRUE(starts_with_keyword("ACCEPT 3 OF", "ACCEPT"));
+  EXPECT_FALSE(starts_with_keyword("ACCEPTS = 2", "ACCEPT"));
+}
+
+TEST(Translator, TasktypeBecomesSubroutineWithArgFetches) {
+  auto r = tr("TASKTYPE WORKER(INTEGER N, REAL X)\n"
+              "      N = N + 1\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "SUBROUTINE PISTWORKER"));
+  EXPECT_TRUE(has(r.output, "INTEGER N"));
+  EXPECT_TRUE(has(r.output, "CALL PISGAI(1, N)"));
+  EXPECT_TRUE(has(r.output, "REAL X"));
+  EXPECT_TRUE(has(r.output, "CALL PISGAR(2, X)"));
+  EXPECT_TRUE(has(r.output, "CALL PISEND()"));
+  EXPECT_TRUE(has(r.output, "CALL PISTYP('WORKER', PISTWORKER)"));
+}
+
+TEST(Translator, ArgFetchesFollowAllDeclarations) {
+  // F77 requires specification statements before executables; the fetch
+  // calls for TASKTYPE parameters must come after user declarations.
+  auto r = tr("TASKTYPE W(INTEGER N)\n"
+              "TASKID T\n"
+              "      REAL X(10)\n"
+              "      N = N + 1\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  const auto decl_taskid = r.output.find("INTEGER T(3)");
+  const auto decl_x = r.output.find("REAL X(10)");
+  const auto fetch = r.output.find("CALL PISGAI(1, N)");
+  const auto body = r.output.find("N = N + 1");
+  ASSERT_NE(fetch, std::string::npos);
+  EXPECT_LT(decl_taskid, fetch);
+  EXPECT_LT(decl_x, fetch);
+  EXPECT_LT(fetch, body);
+}
+
+TEST(Translator, ArgFetchesEmittedEvenForEmptyBody) {
+  auto r = tr("TASKTYPE W(REAL X)\nEND TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  const auto fetch = r.output.find("CALL PISGAR(1, X)");
+  const auto end = r.output.find("CALL PISEND()");
+  ASSERT_NE(fetch, std::string::npos);
+  EXPECT_LT(fetch, end);
+}
+
+TEST(Translator, InitiateSelectorsMapToCodes) {
+  auto r = tr("TASKTYPE M()\n"
+              "ON CLUSTER 2 INITIATE W(N)\n"
+              "ON ANY INITIATE W()\n"
+              "ON OTHER INITIATE W()\n"
+              "ON SAME INITIATE W()\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "CALL PISARG(N)"));
+  EXPECT_TRUE(has(r.output, "CALL PISINI(1, 2, 'W')"));
+  EXPECT_TRUE(has(r.output, "CALL PISINI(2, 0, 'W')"));
+  EXPECT_TRUE(has(r.output, "CALL PISINI(3, 0, 'W')"));
+  EXPECT_TRUE(has(r.output, "CALL PISINI(4, 0, 'W')"));
+}
+
+TEST(Translator, SendDestinations) {
+  auto r = tr("TASKTYPE M()\n"
+              "TASKID T\n"
+              "TO PARENT SEND RESULT(X)\n"
+              "TO SELF SEND NOTE()\n"
+              "TO SENDER SEND ACK()\n"
+              "TO USER SEND MSG(Y)\n"
+              "TO T SEND WORK(A, B)\n"
+              "TO TCONTR 3 SEND QUERY()\n"
+              "TO ALL SEND STOP()\n"
+              "TO ALL CLUSTER 2 SEND PAUSE()\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "INTEGER T(3)"));
+  EXPECT_TRUE(has(r.output, "CALL PISSND(1, 0, 'RESULT')"));
+  EXPECT_TRUE(has(r.output, "CALL PISSND(2, 0, 'NOTE')"));
+  EXPECT_TRUE(has(r.output, "CALL PISSND(3, 0, 'ACK')"));
+  EXPECT_TRUE(has(r.output, "CALL PISSND(4, 0, 'MSG')"));
+  EXPECT_TRUE(has(r.output, "CALL PISSND(5, T, 'WORK')"));
+  EXPECT_TRUE(has(r.output, "CALL PISSND(6, 3, 'QUERY')"));
+  EXPECT_TRUE(has(r.output, "CALL PISBRD(-1, 'STOP')"));
+  EXPECT_TRUE(has(r.output, "CALL PISBRD(2, 'PAUSE')"));
+  // Args marshalled before the send.
+  EXPECT_TRUE(has(r.output, "CALL PISARG(A)"));
+  EXPECT_TRUE(has(r.output, "CALL PISARG(B)"));
+}
+
+TEST(Translator, AcceptWithCountsAllAndDelay) {
+  auto r = tr("TASKTYPE M()\n"
+              "ACCEPT 3 OF\n"
+              "  ROWS\n"
+              "  DONE: ALL\n"
+              "  COLS: 2\n"
+              "DELAY 100 THEN\n"
+              "  TO PARENT SEND TIMEO()\n"
+              "END ACCEPT\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "CALL PISACB()"));
+  EXPECT_TRUE(has(r.output, "CALL PISACT('ROWS', 1)"));
+  EXPECT_TRUE(has(r.output, "CALL PISACA('DONE')"));
+  EXPECT_TRUE(has(r.output, "CALL PISACT('COLS', 2)"));
+  EXPECT_TRUE(has(r.output, "CALL PISACN(3)"));
+  EXPECT_TRUE(has(r.output, "CALL PISACW(100, IPISTO)"));
+  EXPECT_TRUE(has(r.output, "IF (IPISTO .NE. 0) THEN"));
+  EXPECT_TRUE(has(r.output, "CALL PISSND(1, 0, 'TIMEO')"));
+  EXPECT_TRUE(has(r.output, "END IF"));
+}
+
+TEST(Translator, AcceptWithoutDelayUsesSystemTimeout) {
+  auto r = tr("TASKTYPE M()\n"
+              "ACCEPT 1 OF\n"
+              "  GO\n"
+              "END ACCEPT\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "CALL PISACW(-1, IPISTO)"));
+}
+
+TEST(Translator, ForceConstructs) {
+  auto r = tr("TASKTYPE M()\n"
+              "SHARED COMMON /BLK/ X(100), Y\n"
+              "LOCK L\n"
+              "FORCESPLIT\n"
+              "BARRIER\n"
+              "  Y = 0\n"
+              "END BARRIER\n"
+              "CRITICAL L\n"
+              "  Y = Y + 1\n"
+              "END CRITICAL\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "COMMON /BLK/ X(100), Y"));
+  EXPECT_TRUE(has(r.output, "INTEGER L"));
+  EXPECT_TRUE(has(r.output, "CALL PISFSP()"));
+  EXPECT_TRUE(has(r.output, "CALL PISBAR(IPISPR)"));
+  EXPECT_TRUE(has(r.output, "IF (IPISPR .NE. 0) THEN"));
+  EXPECT_TRUE(has(r.output, "CALL PISBRX()"));
+  EXPECT_TRUE(has(r.output, "CALL PISLCK(L)"));
+  EXPECT_TRUE(has(r.output, "CALL PISUNL(L)"));
+  EXPECT_TRUE(has(r.output, "CALL PISSCM('BLK')"));
+  EXPECT_TRUE(has(r.output, "CALL PISLKI('L')"));
+}
+
+TEST(Translator, PreschedLoopLabeledForm) {
+  auto r = tr("TASKTYPE M()\n"
+              "PRESCHED DO 10 I = 1, N\n"
+              "  A(I) = 0\n"
+              "10    CONTINUE\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "DO 10 IPIS1 = PISMEM(), PISCNT(1, N, 1), PISNMB()"));
+  EXPECT_TRUE(has(r.output, "I = (1) + (IPIS1 - 1)*(1)"));
+  EXPECT_TRUE(has(r.output, "10    CONTINUE"));
+}
+
+TEST(Translator, PreschedLoopEndDoFormWithStep) {
+  auto r = tr("TASKTYPE M()\n"
+              "PRESCHED DO I = 2, 100, 2\n"
+              "  A(I) = 0\n"
+              "END DO\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "PISCNT(2, 100, 2)"));
+  EXPECT_TRUE(has(r.output, "I = (2) + (IPIS1 - 1)*(2)"));
+  EXPECT_TRUE(has(r.output, "END DO"));
+}
+
+TEST(Translator, SelfschedLoopUsesFetchAndTest) {
+  auto r = tr("TASKTYPE M()\n"
+              "SELFSCHED DO 20 J = 1, M\n"
+              "  B(J) = 1\n"
+              "20    CONTINUE\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "CALL PISSSB(1, M, 1)"));
+  EXPECT_TRUE(has(r.output, "CALL PISSSN(J, IPISDN)"));
+  EXPECT_TRUE(has(r.output, "IF (IPISDN .NE. 0) GOTO 90004"));
+  EXPECT_TRUE(has(r.output, "GOTO 90002"));
+  EXPECT_TRUE(has(r.output, "90004 CONTINUE"));
+}
+
+TEST(Translator, ParsegGuardsEachSegment) {
+  auto r = tr("TASKTYPE M()\n"
+              "PARSEG\n"
+              "  X = 1\n"
+              "NEXTSEG\n"
+              "  Y = 2\n"
+              "NEXTSEG\n"
+              "  Z = 3\n"
+              "ENDSEG\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "IF (PISSGQ(1, 3)) THEN"));
+  EXPECT_TRUE(has(r.output, "IF (PISSGQ(2, 3)) THEN"));
+  EXPECT_TRUE(has(r.output, "IF (PISSGQ(3, 3)) THEN"));
+  // Segments appear in order with their bodies.
+  const auto p1 = r.output.find("X = 1");
+  const auto p2 = r.output.find("Y = 2");
+  const auto p3 = r.output.find("Z = 3");
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST(Translator, MessageHandlerSignalRegistration) {
+  auto r = tr("TASKTYPE M()\n"
+              "MESSAGE ROWS(REAL A(100), INTEGER K)\n"
+              "HANDLER ROWS\n"
+              "SIGNAL DONE\n"
+              "END TASKTYPE\n"
+              "      SUBROUTINE ROWS(A, K)\n"
+              "      RETURN\n"
+              "      END\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "EXTERNAL ROWS"));
+  EXPECT_TRUE(has(r.output, "CALL PISMSG('ROWS', 2)"));
+  EXPECT_TRUE(has(r.output, "CALL PISHDL('ROWS', ROWS)"));
+  EXPECT_TRUE(has(r.output, "CALL PISSIG('DONE')"));
+  // The plain handler subroutine passes through.
+  EXPECT_TRUE(has(r.output, "SUBROUTINE ROWS(A, K)"));
+}
+
+TEST(Translator, TaskidAndWindowDeclarations) {
+  auto r = tr("TASKTYPE M()\n"
+              "TASKID T, U(10)\n"
+              "WINDOW W\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "INTEGER T(3), U(3,10)"));
+  EXPECT_TRUE(has(r.output, "INTEGER W(12)"));
+}
+
+TEST(Translator, PlainFortranPassesThrough) {
+  const std::string plain =
+      "      SUBROUTINE SAXPY(N, A, X, Y)\n"
+      "      REAL A, X(N), Y(N)\n"
+      "      DO 10 I = 1, N\n"
+      "      Y(I) = A*X(I) + Y(I)\n"
+      "10    CONTINUE\n"
+      "      RETURN\n"
+      "      END\n";
+  auto r = tr(plain);
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "SUBROUTINE SAXPY(N, A, X, Y)"));
+  EXPECT_TRUE(has(r.output, "Y(I) = A*X(I) + Y(I)"));
+  EXPECT_TRUE(has(r.output, "10    CONTINUE"));
+}
+
+TEST(Translator, LongEmittedLinesWrapAtColumn72) {
+  // A send with many long arguments forces generated lines past column 72;
+  // the output must use column-6 continuation cards.
+  auto r = tr("TASKTYPE M()\n"
+              "TO PARENT SEND RES(AVERYLONGNAME1 + AVERYLONGNAME2, "
+              "AVERYLONGNAME3 * AVERYLONGNAME4 + AVERYLONGNAME5 - "
+              "AVERYLONGNAME6)\n"
+              "END TASKTYPE\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  std::istringstream lines(r.output);
+  std::string line;
+  bool saw_continuation = false;
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), 72u) << line;
+    if (line.size() >= 6 && line.compare(0, 6, "     &") == 0) {
+      saw_continuation = true;
+    }
+  }
+  EXPECT_TRUE(saw_continuation);
+  // The wrapped output must still round-trip through the source reader.
+  auto rt_lines = read_source(r.output);
+  bool found = false;
+  for (const auto& sl : rt_lines) {
+    if (sl.upper.find("AVERYLONGNAME6") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Translator, CommentsPassThroughVerbatim) {
+  auto r = tr("C keep me exactly\n* and me\n");
+  EXPECT_TRUE(has(r.output, "C keep me exactly"));
+  EXPECT_TRUE(has(r.output, "* and me"));
+}
+
+// ---- diagnostics ----
+
+TEST(Diagnostics, UnclosedTasktype) {
+  auto r = tr("TASKTYPE M()\n      X = 1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has(r.error_text(), "not closed"));
+}
+
+TEST(Diagnostics, EndBlocksWithoutOpeners) {
+  auto r = tr("TASKTYPE M()\n"
+              "END BARRIER\n"
+              "END CRITICAL\n"
+              "ENDSEG\n"
+              "NEXTSEG\n"
+              "END TASKTYPE\n");
+  EXPECT_EQ(r.errors.size(), 4u);
+}
+
+TEST(Diagnostics, UnterminatedAcceptAtEndTasktype) {
+  auto r = tr("TASKTYPE M()\n"
+              "ACCEPT 1 OF\n"
+              "  GO\n"
+              "END TASKTYPE\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has(r.error_text(), "unterminated"));
+}
+
+TEST(Diagnostics, MalformedConstructsCarryLineNumbers) {
+  auto r = tr("TASKTYPE M()\n"
+              "ON NOWHERE INITIATE W()\n"
+              "END TASKTYPE\n");
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].line, 2);
+  EXPECT_TRUE(has(r.errors[0].message, "cluster selector"));
+}
+
+TEST(Diagnostics, NestedTasktypeRejected) {
+  auto r = tr("TASKTYPE A()\nTASKTYPE B()\nEND TASKTYPE\nEND TASKTYPE\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has(r.error_text(), "nested TASKTYPE"));
+}
+
+// Full end-to-end: the style of program Section 6 describes — a first phase
+// initiating tasks, an exchange of taskids, then work.
+TEST(Translator, PaperStyleProgramTranslatesCleanly) {
+  const std::string program =
+      "C Pisces Fortran: master/worker with a force phase\n"
+      "TASKTYPE MASTER(INTEGER NW)\n"
+      "MESSAGE HELLO(TASKID WHO)\n"
+      "MESSAGE RESULT(REAL V)\n"
+      "HANDLER HELLO\n"
+      "SIGNAL RESULT\n"
+      "TASKID KIDS(16)\n"
+      "      DO 10 I = 1, NW\n"
+      "ON ANY INITIATE WORKER(I)\n"
+      "10    CONTINUE\n"
+      "ACCEPT NW OF\n"
+      "  HELLO\n"
+      "END ACCEPT\n"
+      "ACCEPT NW OF\n"
+      "  RESULT\n"
+      "DELAY 10000 THEN\n"
+      "TO USER SEND LOST()\n"
+      "END ACCEPT\n"
+      "TO USER SEND FINI()\n"
+      "END TASKTYPE\n"
+      "\n"
+      "TASKTYPE WORKER(INTEGER ME)\n"
+      "SHARED COMMON /ACC/ TOTAL\n"
+      "LOCK TLOCK\n"
+      "TO PARENT SEND HELLO()\n"
+      "FORCESPLIT\n"
+      "PRESCHED DO 20 I = 1, 1000\n"
+      "      CALL STEP(I)\n"
+      "20    CONTINUE\n"
+      "CRITICAL TLOCK\n"
+      "      TOTAL = TOTAL + 1\n"
+      "END CRITICAL\n"
+      "TO PARENT SEND RESULT(TOTAL)\n"
+      "END TASKTYPE\n";
+  auto r = tr(program);
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_TRUE(has(r.output, "SUBROUTINE PISTMASTER"));
+  EXPECT_TRUE(has(r.output, "SUBROUTINE PISTWORKER"));
+  EXPECT_TRUE(has(r.output, "CALL PISTYP('MASTER', PISTMASTER)"));
+  EXPECT_TRUE(has(r.output, "CALL PISTYP('WORKER', PISTWORKER)"));
+  EXPECT_TRUE(has(r.output, "CALL PISACN(NW)"));
+}
+
+}  // namespace
+}  // namespace pisces::pfc

@@ -1,0 +1,122 @@
+// Tests of the multi-user job queue (Section 11): FIFO access to the MMOS
+// PEs, queue waits, reboot isolation between user programs, idle gaps.
+#include "session/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pisces::session {
+namespace {
+
+JobSpec make_job(const std::string& user, sim::Tick submit_at,
+                 sim::Tick work = 100'000) {
+  JobSpec job;
+  job.user = user;
+  job.configuration = config::Configuration::simple(1);
+  job.submit_at = submit_at;
+  job.setup = [work](rt::Runtime& rt) {
+    rt.register_tasktype("main", [work](rt::TaskContext& ctx) {
+      ctx.compute(work);
+      ctx.send(rt::Dest::User(), "bye");
+    });
+  };
+  job.start = [](rt::Runtime& rt) { rt.user_initiate(1, "main"); };
+  return job;
+}
+
+TEST(JobQueue, RunsJobsFifoWithQueueWaits) {
+  JobQueue q(/*reboot_ticks=*/1'000);
+  q.submit(make_job("alice", 0));
+  q.submit(make_job("bob", 10));     // arrives while alice runs
+  q.submit(make_job("carol", 20));
+  auto results = q.run_all();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].user, "alice");
+  EXPECT_EQ(results[0].queue_wait(), 0);
+  // bob waits for alice to finish + reboot.
+  EXPECT_EQ(results[1].started_at, results[0].finished_at);
+  EXPECT_GT(results[1].queue_wait(), 0);
+  EXPECT_EQ(results[2].started_at, results[1].finished_at);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.idle_ticks(), 0);
+}
+
+TEST(JobQueue, SubmissionTimeOrdersTheQueue) {
+  JobQueue q;
+  q.submit(make_job("late", 500'000'000));
+  q.submit(make_job("early", 0));
+  auto results = q.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].user, "early");
+  EXPECT_EQ(results[1].user, "late");
+  // The machine sat idle between early's finish and late's arrival.
+  EXPECT_GT(q.idle_ticks(), 0);
+  EXPECT_EQ(results[1].queue_wait(), 0);
+}
+
+TEST(JobQueue, RebootIsolatesUserPrograms) {
+  // Each job sees a fresh machine: stats and console never leak across.
+  JobQueue q;
+  q.submit(make_job("a", 0));
+  q.submit(make_job("b", 0));
+  auto results = q.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.tasks_started, 1u);
+    EXPECT_EQ(r.stats.tasks_finished, 1u);
+    // Exactly one user line ("bye") on this job's own console.
+    int bye_lines = 0;
+    for (const auto& line : r.console) {
+      if (line.text.find("bye") != std::string::npos) ++bye_lines;
+    }
+    EXPECT_EQ(bye_lines, 1);
+    EXPECT_FALSE(r.timed_out);
+  }
+}
+
+TEST(JobQueue, TimedOutJobStillReleasesTheMachine) {
+  JobQueue q(/*reboot_ticks=*/100);
+  JobSpec hog = make_job("hog", 0);
+  hog.configuration.time_limit = 10'000;  // far less than its work
+  hog.setup = [](rt::Runtime& rt) {
+    rt.register_tasktype("main",
+                         [](rt::TaskContext& ctx) { ctx.compute(50'000'000); });
+  };
+  q.submit(std::move(hog));
+  q.submit(make_job("next", 0));
+  auto results = q.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].timed_out);
+  EXPECT_FALSE(results[1].timed_out);
+  EXPECT_EQ(results[1].started_at, results[0].finished_at);
+}
+
+TEST(JobQueue, DifferentConfigurationsPerJob) {
+  // The paper's workflow: the same program resubmitted under an edited
+  // configuration (here: with force PEs) runs faster.
+  auto force_job = [](const std::string& user, int secondaries) {
+    JobSpec job;
+    job.user = user;
+    job.configuration = config::Configuration::simple(1);
+    for (int i = 0; i < secondaries; ++i) {
+      job.configuration.clusters[0].secondary_pes.push_back(4 + i);
+    }
+    job.setup = [](rt::Runtime& rt) {
+      rt.register_tasktype("main", [](rt::TaskContext& ctx) {
+        ctx.forcesplit([](rt::ForceContext& fc) {
+          fc.presched(1, 32, 1, [&](std::int64_t) { fc.compute(10'000); });
+        });
+      });
+    };
+    job.start = [](rt::Runtime& rt) { rt.user_initiate(1, "main"); };
+    return job;
+  };
+  JobQueue q;
+  q.submit(force_job("serial", 0));
+  q.submit(force_job("parallel", 7));
+  auto results = q.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].run_ticks, 3 * results[1].run_ticks);
+}
+
+}  // namespace
+}  // namespace pisces::session

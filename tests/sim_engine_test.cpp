@@ -1,0 +1,277 @@
+// Unit tests for the discrete-event engine: event ordering, process
+// handshake, waits, timeouts, wakes, kills, and determinism.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pisces::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(30, [&] { order.push_back(3); });
+  eng.schedule(10, [&] { order.push_back(1); });
+  eng.schedule(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    eng.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(1, [&] {
+    ++fired;
+    eng.schedule_in(4, [&] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 5);
+}
+
+TEST(EventQueue, PastTicksClampToNow) {
+  Engine eng;
+  Tick seen = -1;
+  eng.schedule(10, [&] { eng.schedule(3, [&] { seen = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(Process, RunsBodyWhenWoken) {
+  Engine eng;
+  bool ran = false;
+  Process& p = eng.spawn("t", [&](Process&) { ran = true; });
+  eng.schedule(7, [&] { eng.wake(p); });
+  eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(p.state(), Process::State::finished);
+}
+
+TEST(Process, NotStartedUntilWoken) {
+  Engine eng;
+  bool ran = false;
+  eng.spawn("t", [&](Process&) { ran = true; });
+  eng.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Process, SleepAdvancesVirtualTime) {
+  Engine eng;
+  std::vector<Tick> stamps;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    stamps.push_back(eng.now());
+    self.sleep_until(100);
+    stamps.push_back(eng.now());
+    self.sleep_until(250);
+    stamps.push_back(eng.now());
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.run();
+  EXPECT_EQ(stamps, (std::vector<Tick>{0, 100, 250}));
+}
+
+TEST(Process, InterleavesDeterministically) {
+  Engine eng;
+  std::string log;
+  Process& a = eng.spawn("a", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      log += 'a';
+      self.sleep_until(eng.now() + 10);
+    }
+  });
+  Process& b = eng.spawn("b", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      log += 'b';
+      self.sleep_until(eng.now() + 10);
+    }
+  });
+  eng.schedule(0, [&] { eng.wake(a); });
+  eng.schedule(5, [&] { eng.wake(b); });
+  eng.run();
+  EXPECT_EQ(log, "ababab");
+}
+
+TEST(Process, WaitIsWokenByAnotherProcess) {
+  Engine eng;
+  Tick woke_at = -1;
+  Process& sleeper = eng.spawn("sleeper", [&](Process& self) {
+    self.wait();
+    woke_at = eng.now();
+  });
+  Process& waker = eng.spawn("waker", [&](Process& self) {
+    self.sleep_until(42);
+    eng.wake(sleeper);
+  });
+  eng.schedule(0, [&] {
+    eng.wake(sleeper);
+    eng.wake(waker);
+  });
+  eng.run();
+  EXPECT_EQ(woke_at, 42);
+}
+
+TEST(Process, WaitUntilTimesOut) {
+  Engine eng;
+  bool timed_out = false;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    timed_out = self.wait_until(eng.now() + 99);
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(eng.now(), 99);
+}
+
+TEST(Process, WakeBeatsTimeout) {
+  Engine eng;
+  bool timed_out = true;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    timed_out = self.wait_until(1000);
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.schedule(50, [&] { eng.wake(p); });
+  eng.run();
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(eng.now(), 1000);  // the stale timeout event still fires (no-op)
+}
+
+TEST(Process, StaleTimeoutFromEarlierWaitIsIgnored) {
+  Engine eng;
+  std::vector<bool> results;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    results.push_back(self.wait_until(200));  // woken at 50
+    results.push_back(self.wait_until(150));  // must not be hit by the 200 event... times out at 150
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.schedule(50, [&] { eng.wake(p); });
+  eng.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0]);
+  EXPECT_TRUE(results[1]);
+}
+
+TEST(Process, RedundantWakeIsHarmless) {
+  Engine eng;
+  int wakes = 0;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    self.wait();
+    ++wakes;
+    self.wait();
+    ++wakes;
+  });
+  eng.schedule(0, [&] { eng.wake(p); });   // start
+  eng.schedule(10, [&] { eng.wake(p); });  // first wait
+  eng.schedule(10, [&] { eng.wake(p); });  // duplicate, same tick
+  eng.schedule(20, [&] { eng.wake(p); });  // second wait
+  eng.run();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Process, KillUnwindsBlockedProcess) {
+  Engine eng;
+  bool after_wait = false;
+  bool cleanup_ran = false;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    struct Guard {
+      bool* flag;
+      ~Guard() { *flag = true; }
+    } g{&cleanup_ran};
+    self.wait();
+    after_wait = true;
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.schedule(10, [&] { eng.kill(p); });
+  eng.run();
+  EXPECT_FALSE(after_wait);
+  EXPECT_TRUE(cleanup_ran);
+  EXPECT_EQ(p.state(), Process::State::finished);
+}
+
+TEST(Process, KillBeforeStartSkipsBody) {
+  Engine eng;
+  bool ran = false;
+  Process& p = eng.spawn("t", [&](Process&) { ran = true; });
+  eng.schedule(0, [&] { eng.kill(p); });
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(p.state(), Process::State::finished);
+}
+
+TEST(Process, BodyExceptionPropagatesToRun) {
+  Engine eng;
+  Process& p = eng.spawn("t", [&](Process&) {
+    throw std::runtime_error("boom");
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, DetectsBlockedProcessesAfterRun) {
+  Engine eng;
+  Process& p = eng.spawn("stuck", [&](Process& self) { self.wait(); });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.run();
+  auto blocked = eng.blocked_processes();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0]->name(), "stuck");
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(10, [&] { ++fired; });
+  eng.schedule(20, [&] { ++fired; });
+  eng.schedule(30, [&] { ++fired; });
+  eng.run_until(20);
+  EXPECT_EQ(fired, 2);
+  eng.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, ManyProcessesDeterministicFinalTime) {
+  // The same program must produce the identical tick trajectory each run.
+  auto simulate = [] {
+    Engine eng;
+    Tick total = 0;
+    for (int i = 0; i < 40; ++i) {
+      Process& p = eng.spawn("p" + std::to_string(i), [&eng, i](Process& self) {
+        for (int k = 0; k < 5; ++k) self.sleep_until(eng.now() + 7 + i);
+      });
+      eng.schedule(i % 3, [&eng, &p] { eng.wake(p); });
+    }
+    total = eng.run();
+    return std::pair(total, eng.events_fired());
+  };
+  auto a = simulate();
+  auto b = simulate();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Engine, LiveProcessCountDropsAsBodiesFinish) {
+  Engine eng;
+  Process& p1 = eng.spawn("a", [](Process&) {});
+  Process& p2 = eng.spawn("b", [](Process& self) { self.wait(); });
+  eng.schedule(0, [&] {
+    eng.wake(p1);
+    eng.wake(p2);
+  });
+  eng.run();
+  EXPECT_EQ(eng.live_process_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pisces::sim

@@ -1,0 +1,191 @@
+// Tests of the tracing subsystem (Section 12): filters per kind and per
+// task, sinks, trace-line formatting, file round trips, and the analyzer.
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/analyzer.hpp"
+
+namespace pisces::trace {
+namespace {
+
+Record make(EventKind k, sim::Tick at, rt::TaskId task, std::uint64_t seq = 0,
+            rt::TaskId other = {}) {
+  Record r;
+  r.kind = k;
+  r.at = at;
+  r.pe = 3;
+  r.task = task;
+  r.other = other;
+  r.seq = seq;
+  return r;
+}
+
+TEST(Tracer, KindFilterGatesSinks) {
+  Tracer t;
+  MemorySink sink;
+  t.add_sink(&sink);
+  const rt::TaskId id{1, 3, 1};
+  t.record(make(EventKind::msg_send, 10, id));
+  EXPECT_TRUE(sink.records().empty());
+  t.set_kind(EventKind::msg_send, true);
+  t.record(make(EventKind::msg_send, 20, id));
+  EXPECT_EQ(sink.records().size(), 1u);
+  // Counters see everything regardless of filters.
+  EXPECT_EQ(t.count(EventKind::msg_send), 2u);
+}
+
+TEST(Tracer, PerTaskOverrideBeatsKindDefault) {
+  Tracer t;
+  const rt::TaskId loud{1, 3, 1};
+  const rt::TaskId quiet{1, 4, 2};
+  t.set_kind(EventKind::lock, true);
+  t.set_task(quiet, EventKind::lock, false);
+  EXPECT_TRUE(t.enabled(EventKind::lock, loud));
+  EXPECT_FALSE(t.enabled(EventKind::lock, quiet));
+  // And the other direction: kind off, one task on.
+  t.set_kind(EventKind::barrier_enter, false);
+  t.set_task(loud, EventKind::barrier_enter, true);
+  EXPECT_TRUE(t.enabled(EventKind::barrier_enter, loud));
+  EXPECT_FALSE(t.enabled(EventKind::barrier_enter, quiet));
+  t.clear_task(loud);
+  EXPECT_FALSE(t.enabled(EventKind::barrier_enter, loud));
+}
+
+TEST(Tracer, SetAllTogglesEveryKind) {
+  Tracer t;
+  t.set_all(true);
+  for (int k = 0; k < kEventKindCount; ++k) {
+    EXPECT_TRUE(t.enabled(static_cast<EventKind>(k), {}));
+  }
+}
+
+TEST(Record, FormatContainsTheSectionTwelveFields) {
+  Record r = make(EventKind::msg_send, 1234, rt::TaskId{2, 5, 17}, 99,
+                  rt::TaskId{1, 3, 4});
+  r.info = "rows";
+  const std::string line = r.format();
+  // "Type of event. Taskid ... Clock reading (PE number and ticks count)."
+  EXPECT_NE(line.find("MSG-SEND"), std::string::npos);
+  EXPECT_NE(line.find("t=1234"), std::string::npos);
+  EXPECT_NE(line.find("pe=3"), std::string::npos);
+  EXPECT_NE(line.find("task=2:5:17"), std::string::npos);
+  EXPECT_NE(line.find("other=1:3:4"), std::string::npos);
+  EXPECT_NE(line.find("seq=99"), std::string::npos);
+  EXPECT_NE(line.find("info=rows"), std::string::npos);
+}
+
+TEST(Analyzer, ParseRoundTripsFormattedLines) {
+  std::vector<Record> records = {
+      make(EventKind::task_init, 100, rt::TaskId{1, 3, 1}),
+      make(EventKind::msg_send, 150, rt::TaskId{1, 3, 1}, 7, rt::TaskId{2, 3, 2}),
+      make(EventKind::msg_accept, 300, rt::TaskId{2, 3, 2}, 7),
+      make(EventKind::task_term, 500, rt::TaskId{1, 3, 1}),
+  };
+  std::stringstream ss;
+  StreamSink sink(ss);
+  for (const auto& r : records) sink.emit(r);
+  auto parsed = Analyzer::parse(ss);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, records[i].kind);
+    EXPECT_EQ(parsed[i].at, records[i].at);
+    EXPECT_EQ(parsed[i].task, records[i].task);
+    EXPECT_EQ(parsed[i].seq, records[i].seq);
+  }
+}
+
+TEST(Analyzer, TaskLifetimesAndMessageLatencies) {
+  std::vector<Record> records = {
+      make(EventKind::task_init, 100, rt::TaskId{1, 3, 1}),
+      make(EventKind::task_term, 600, rt::TaskId{1, 3, 1}),
+      make(EventKind::msg_send, 200, rt::TaskId{1, 3, 1}, 1, rt::TaskId{2, 3, 2}),
+      make(EventKind::msg_accept, 260, rt::TaskId{2, 3, 2}, 1),
+      make(EventKind::msg_send, 300, rt::TaskId{1, 3, 1}, 2, rt::TaskId{2, 3, 2}),
+      make(EventKind::msg_accept, 440, rt::TaskId{2, 3, 2}, 2),
+      make(EventKind::msg_send, 500, rt::TaskId{1, 3, 1}, 3),  // never accepted
+  };
+  Analyzer an(records);
+  auto tasks = an.task_timings();
+  ASSERT_EQ(tasks.size(), 1u);  // only init/term events define task timings
+  bool found = false;
+  for (const auto& t : tasks) {
+    if (t.lifetime().has_value()) {
+      EXPECT_EQ(*t.lifetime(), 500);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  auto msgs = an.message_timings();
+  ASSERT_EQ(msgs.size(), 2u);  // seq 3 unmatched
+  EXPECT_EQ(msgs[0].latency(), 60);
+  EXPECT_EQ(msgs[1].latency(), 140);
+  EXPECT_DOUBLE_EQ(an.mean_message_latency(), 100.0);
+  EXPECT_EQ(an.count(EventKind::msg_send), 3u);
+  EXPECT_NE(an.report().find("matched messages: 2"), std::string::npos);
+}
+
+TEST(Analyzer, BarrierEntriesPerTask) {
+  std::vector<Record> records;
+  for (int i = 0; i < 4; ++i) {
+    records.push_back(make(EventKind::barrier_enter, 10 * i, rt::TaskId{1, 3, 1}));
+  }
+  records.push_back(make(EventKind::barrier_enter, 99, rt::TaskId{1, 4, 2}));
+  Analyzer an(records);
+  auto entries = an.barrier_entries();
+  EXPECT_EQ(entries[(rt::TaskId{1, 3, 1})], 4u);
+  EXPECT_EQ(entries[(rt::TaskId{1, 4, 2})], 1u);
+}
+
+TEST(Analyzer, MessageTypeCountsFromSendInfo) {
+  std::vector<Record> records;
+  auto send = [&](const char* type) {
+    Record r = make(EventKind::msg_send, 1, rt::TaskId{1, 3, 1}, 0);
+    r.info = type;
+    records.push_back(r);
+  };
+  send("rows");
+  send("rows");
+  send("done");
+  records.push_back(make(EventKind::msg_accept, 2, rt::TaskId{1, 3, 1}));
+  Analyzer an(records);
+  auto counts = an.message_type_counts();
+  EXPECT_EQ(counts["rows"], 2u);
+  EXPECT_EQ(counts["done"], 1u);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(Analyzer, PeActivityProfile) {
+  std::vector<Record> records;
+  for (int i = 0; i < 3; ++i) {
+    Record r = make(EventKind::lock, i, rt::TaskId{1, 3, 1});
+    r.pe = 5;
+    records.push_back(r);
+  }
+  Record other = make(EventKind::unlock, 9, rt::TaskId{1, 3, 1});
+  other.pe = 7;
+  records.push_back(other);
+  Analyzer an(records);
+  auto activity = an.pe_activity();
+  EXPECT_EQ(activity[5], 3u);
+  EXPECT_EQ(activity[7], 1u);
+}
+
+TEST(Sinks, FileSinkWritesParseableTrace) {
+  const std::string path = "/tmp/pisces_trace_test.log";
+  {
+    FileSink sink(path);
+    sink.emit(make(EventKind::force_split, 42, rt::TaskId{1, 3, 9}));
+    sink.flush();
+  }
+  std::ifstream in(path);
+  auto parsed = Analyzer::parse(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kind, EventKind::force_split);
+  EXPECT_EQ(parsed[0].at, 42);
+}
+
+}  // namespace
+}  // namespace pisces::trace
