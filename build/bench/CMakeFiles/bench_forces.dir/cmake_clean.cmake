@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forces.dir/bench_forces.cpp.o"
+  "CMakeFiles/bench_forces.dir/bench_forces.cpp.o.d"
+  "bench_forces"
+  "bench_forces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

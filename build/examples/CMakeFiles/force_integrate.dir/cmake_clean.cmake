@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/force_integrate.dir/force_integrate.cpp.o"
+  "CMakeFiles/force_integrate.dir/force_integrate.cpp.o.d"
+  "force_integrate"
+  "force_integrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/force_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat2d.dir/heat2d.cpp.o"
+  "CMakeFiles/heat2d.dir/heat2d.cpp.o.d"
+  "heat2d"
+  "heat2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

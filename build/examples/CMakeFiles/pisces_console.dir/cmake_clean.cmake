@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_console.dir/pisces_console.cpp.o"
+  "CMakeFiles/pisces_console.dir/pisces_console.cpp.o.d"
+  "pisces_console"
+  "pisces_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

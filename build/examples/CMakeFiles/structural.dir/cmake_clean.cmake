@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural.dir/structural.cpp.o"
+  "CMakeFiles/structural.dir/structural.cpp.o.d"
+  "structural"
+  "structural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_config.dir/configuration.cpp.o"
+  "CMakeFiles/pisces_config.dir/configuration.cpp.o.d"
+  "CMakeFiles/pisces_config.dir/menu.cpp.o"
+  "CMakeFiles/pisces_config.dir/menu.cpp.o.d"
+  "libpisces_config.a"
+  "libpisces_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_core.dir/context.cpp.o"
+  "CMakeFiles/pisces_core.dir/context.cpp.o.d"
+  "CMakeFiles/pisces_core.dir/force.cpp.o"
+  "CMakeFiles/pisces_core.dir/force.cpp.o.d"
+  "CMakeFiles/pisces_core.dir/runtime.cpp.o"
+  "CMakeFiles/pisces_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/pisces_core.dir/value.cpp.o"
+  "CMakeFiles/pisces_core.dir/value.cpp.o.d"
+  "libpisces_core.a"
+  "libpisces_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_exec.dir/execution_env.cpp.o"
+  "CMakeFiles/pisces_exec.dir/execution_env.cpp.o.d"
+  "libpisces_exec.a"
+  "libpisces_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flex/machine.cpp" "src/flex/CMakeFiles/pisces_flex.dir/machine.cpp.o" "gcc" "src/flex/CMakeFiles/pisces_flex.dir/machine.cpp.o.d"
+  "/root/repo/src/flex/shared_heap.cpp" "src/flex/CMakeFiles/pisces_flex.dir/shared_heap.cpp.o" "gcc" "src/flex/CMakeFiles/pisces_flex.dir/shared_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pisces_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_flex.dir/machine.cpp.o"
+  "CMakeFiles/pisces_flex.dir/machine.cpp.o.d"
+  "CMakeFiles/pisces_flex.dir/shared_heap.cpp.o"
+  "CMakeFiles/pisces_flex.dir/shared_heap.cpp.o.d"
+  "libpisces_flex.a"
+  "libpisces_flex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

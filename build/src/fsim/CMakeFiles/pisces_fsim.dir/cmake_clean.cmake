@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_fsim.dir/file_store.cpp.o"
+  "CMakeFiles/pisces_fsim.dir/file_store.cpp.o.d"
+  "libpisces_fsim.a"
+  "libpisces_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

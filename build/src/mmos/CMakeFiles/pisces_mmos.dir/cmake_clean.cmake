@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_mmos.dir/kernel.cpp.o"
+  "CMakeFiles/pisces_mmos.dir/kernel.cpp.o.d"
+  "libpisces_mmos.a"
+  "libpisces_mmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_mmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

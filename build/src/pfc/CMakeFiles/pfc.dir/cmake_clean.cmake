@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfc.dir/pfc_main.cpp.o"
+  "CMakeFiles/pfc.dir/pfc_main.cpp.o.d"
+  "pfc"
+  "pfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_pfc.dir/source.cpp.o"
+  "CMakeFiles/pisces_pfc.dir/source.cpp.o.d"
+  "CMakeFiles/pisces_pfc.dir/translator.cpp.o"
+  "CMakeFiles/pisces_pfc.dir/translator.cpp.o.d"
+  "libpisces_pfc.a"
+  "libpisces_pfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_pfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_session.dir/job_queue.cpp.o"
+  "CMakeFiles/pisces_session.dir/job_queue.cpp.o.d"
+  "libpisces_session.a"
+  "libpisces_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_sim.dir/engine.cpp.o"
+  "CMakeFiles/pisces_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pisces_sim.dir/process.cpp.o"
+  "CMakeFiles/pisces_sim.dir/process.cpp.o.d"
+  "libpisces_sim.a"
+  "libpisces_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

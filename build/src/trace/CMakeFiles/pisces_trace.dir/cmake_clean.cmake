@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisces_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/pisces_trace.dir/analyzer.cpp.o.d"
+  "libpisces_trace.a"
+  "libpisces_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisces_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

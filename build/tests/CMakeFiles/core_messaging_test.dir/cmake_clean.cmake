@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_messaging_test.dir/core_messaging_test.cpp.o"
+  "CMakeFiles/core_messaging_test.dir/core_messaging_test.cpp.o.d"
+  "core_messaging_test"
+  "core_messaging_test.pdb"
+  "core_messaging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_messaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

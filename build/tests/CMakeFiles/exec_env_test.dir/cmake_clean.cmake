@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_env_test.dir/exec_env_test.cpp.o"
+  "CMakeFiles/exec_env_test.dir/exec_env_test.cpp.o.d"
+  "exec_env_test"
+  "exec_env_test.pdb"
+  "exec_env_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_machine_test.dir/flex_machine_test.cpp.o"
+  "CMakeFiles/flex_machine_test.dir/flex_machine_test.cpp.o.d"
+  "flex_machine_test"
+  "flex_machine_test.pdb"
+  "flex_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmos_kernel_test.dir/mmos_kernel_test.cpp.o"
+  "CMakeFiles/mmos_kernel_test.dir/mmos_kernel_test.cpp.o.d"
+  "mmos_kernel_test"
+  "mmos_kernel_test.pdb"
+  "mmos_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmos_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

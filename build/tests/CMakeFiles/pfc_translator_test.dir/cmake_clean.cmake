@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfc_translator_test.dir/pfc_translator_test.cpp.o"
+  "CMakeFiles/pfc_translator_test.dir/pfc_translator_test.cpp.o.d"
+  "pfc_translator_test"
+  "pfc_translator_test.pdb"
+  "pfc_translator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfc_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/session_test.cpp" "tests/CMakeFiles/session_test.dir/session_test.cpp.o" "gcc" "tests/CMakeFiles/session_test.dir/session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/session/CMakeFiles/pisces_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pisces_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/pisces_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmos/CMakeFiles/pisces_mmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/flex/CMakeFiles/pisces_flex.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pisces_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/pisces_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pisces_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

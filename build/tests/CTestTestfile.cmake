@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/flex_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/mmos_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_messaging_test[1]_include.cmake")
+include("/root/repo/build/tests/core_force_test[1]_include.cmake")
+include("/root/repo/build/tests/core_window_test[1]_include.cmake")
+include("/root/repo/build/tests/pfc_translator_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_env_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/core_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/fsim_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/core_accept_edge_test[1]_include.cmake")
+add_test(pfc_cli_translates_example "/root/repo/build/src/pfc/pfc" "/root/repo/examples/fortran/master_worker.pf" "-o" "/root/repo/build/master_worker.f")
+set_tests_properties(pfc_cli_translates_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pfc_cli_rejects_missing_file "/root/repo/build/src/pfc/pfc" "/nonexistent.pf")
+set_tests_properties(pfc_cli_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
