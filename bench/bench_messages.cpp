@@ -5,6 +5,10 @@
 // broadcast vs point-to-point cost.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
 #include "common.hpp"
 
 using namespace pisces;
@@ -71,34 +75,77 @@ double throughput(int payload_doubles, int count = 256) {
   return 1e6 * count / static_cast<double>(elapsed);
 }
 
-void latency_table() {
+/// Collects the deterministic simulated-tick results so they can be written
+/// out as a trajectory point (BENCH_messages.json). All metrics here are
+/// virtual-tick quantities — identical on every run and every host — which
+/// is what makes the file meaningful to diff across commits.
+struct JsonReport {
+  std::ostringstream body;
+  bool first_section = true;
+
+  void begin_section(const std::string& name) {
+    body << (first_section ? "" : ",\n") << "    \"" << name << "\": [";
+    first_section = false;
+  }
+  void end_section() { body << "]"; }
+
+  void write(const std::string& path) const {
+    std::ofstream os(path);
+    os << "{\n"
+       << "  \"schema\": \"pisces-bench-messages-v1\",\n"
+       << "  \"units\": \"simulated ticks (deterministic)\",\n"
+       << "  \"sections\": {\n"
+       << body.str() << "\n"
+       << "  }\n"
+       << "}\n";
+    std::cout << "\nwrote " << path << "\n";
+  }
+};
+
+void latency_table(JsonReport& report) {
   banner("E4a: one-way message latency vs payload size");
   Table t({"payload bytes", "latency (ticks)", "ticks/KB"});
+  report.begin_section("one_way_latency");
+  bool first = true;
   for (int doubles : {0, 8, 64, 256, 1024, 4096}) {
     const sim::Tick lat = one_way_latency(doubles);
     const double bytes = 8.0 * doubles + rt::Message::kHeaderBytes;
     t.row(static_cast<std::int64_t>(bytes), lat,
           static_cast<std::int64_t>(1024.0 * static_cast<double>(lat) / bytes));
+    report.body << (first ? "" : ", ") << "{\"payload_bytes\": "
+                << static_cast<std::int64_t>(bytes) << ", \"ticks\": " << lat
+                << "}";
+    first = false;
   }
+  report.end_section();
   note("fixed software overhead dominates small messages; the bus term\n"
        "(2 ticks/word) dominates past ~1 KB — the standard latency curve.");
 }
 
-void throughput_table() {
+void throughput_table(JsonReport& report) {
   banner("E4b: streaming throughput vs payload size");
   Table t({"payload bytes", "msgs/Mtick", "KB/Mtick"});
+  report.begin_section("streaming_throughput");
+  bool first = true;
   for (int doubles : {8, 64, 256, 1024}) {
     const double mt = throughput(doubles);
     t.row(8 * doubles, static_cast<std::int64_t>(mt),
           static_cast<std::int64_t>(mt * 8.0 * doubles / 1024.0));
+    report.body << (first ? "" : ", ") << "{\"payload_bytes\": " << 8 * doubles
+                << ", \"msgs_per_mtick\": " << static_cast<std::int64_t>(mt)
+                << "}";
+    first = false;
   }
+  report.end_section();
 }
 
-void broadcast_table() {
+void broadcast_table(JsonReport& report) {
   banner("E4c: TO ALL broadcast vs explicit point-to-point sends");
   // The FLEX has no broadcast hardware: TO ALL is a run-time loop, so its
   // cost should scale linearly with the receiver count.
   Table t({"receivers", "broadcast ticks", "p2p ticks"});
+  report.begin_section("broadcast_vs_p2p");
+  bool first = true;
   for (int receivers : {2, 4, 8, 16}) {
     sim::Tick bc_ticks = 0;
     for (int mode = 0; mode < 2; ++mode) {
@@ -129,9 +176,14 @@ void broadcast_table() {
         bc_ticks = elapsed;
       } else {
         t.row(receivers, bc_ticks, elapsed);
+        report.body << (first ? "" : ", ") << "{\"receivers\": " << receivers
+                    << ", \"broadcast_ticks\": " << bc_ticks
+                    << ", \"p2p_ticks\": " << elapsed << "}";
+        first = false;
       }
     }
   }
+  report.end_section();
   note("both are software loops over the receivers — near-identical, linear.");
 }
 
@@ -162,9 +214,22 @@ BENCHMARK(BM_EncodeDecodeArgs)->Arg(8)->Arg(256)->Arg(4096);
 int main(int argc, char** argv) {
   std::cout << "PISCES 2 reproduction — E4: message passing (Sections 6, 11; "
                "extension measurements)\n";
-  latency_table();
-  throughput_table();
-  broadcast_table();
+  // --json=PATH writes the deterministic tick metrics as a trajectory point
+  // (default BENCH_messages.json in the working directory).
+  std::string json_path = "BENCH_messages.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  JsonReport report;
+  latency_table(report);
+  throughput_table(report);
+  broadcast_table(report);
+  report.write(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

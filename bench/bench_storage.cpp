@@ -123,6 +123,62 @@ void BM_SharedHeapAllocRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_SharedHeapAllocRelease)->Arg(64)->Arg(1024)->Arg(16384);
 
+// Allocator behaviour under load: `live` blocks of mixed sizes stay
+// resident while one block churns. A first-fit full scan degrades linearly
+// in the live-block count; the segregated free lists stay near-constant.
+void BM_SharedHeapChurn(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  flex::SharedHeap heap(64 * 1024 * 1024);
+  std::vector<std::size_t> blocks;
+  blocks.reserve(live);
+  // Mixed size classes (24..1536 bytes) like a real message mix.
+  for (std::size_t i = 0; i < live; ++i) {
+    blocks.push_back(*heap.allocate(24 + 8 * (i % 190)));
+  }
+  // Punch holes so the free list is long (every other block released).
+  for (std::size_t i = 0; i < live; i += 2) {
+    heap.release(blocks[i]);
+    blocks[i] = static_cast<std::size_t>(-1);
+  }
+  std::size_t cursor = 1;
+  for (auto _ : state) {
+    // 2 KB exceeds every punched hole (max 1536 B): first-fit walks the
+    // whole free list to the wilderness; size classes jump straight there.
+    auto off = heap.allocate(2048);
+    benchmark::DoNotOptimize(off);
+    heap.release(*off);
+    // Also churn one of the resident blocks to exercise release/coalesce.
+    heap.release(blocks[cursor]);
+    blocks[cursor] = *heap.allocate(24 + 8 * (cursor % 190));
+    cursor += 2;
+    if (cursor >= live) cursor = 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SharedHeapChurn)->Arg(64)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// The pure pathology: `holes` small free blocks (kept apart by live blocks
+// so they cannot coalesce), then a repeated allocation larger than every
+// hole. First-fit scans all the holes on each call; segregated size
+// classes go straight to a big-enough class.
+void BM_SharedHeapAllocPastHoles(benchmark::State& state) {
+  const auto holes = static_cast<std::size_t>(state.range(0));
+  flex::SharedHeap heap(64 * 1024 * 1024);
+  std::vector<std::size_t> small;
+  for (std::size_t i = 0; i < holes; ++i) {
+    small.push_back(*heap.allocate(64));
+    (void)*heap.allocate(64);  // live separator: prevents coalescing
+  }
+  for (std::size_t off : small) heap.release(off);
+  for (auto _ : state) {
+    auto off = heap.allocate(4096);
+    benchmark::DoNotOptimize(off);
+    heap.release(*off);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SharedHeapAllocPastHoles)->Arg(64)->Arg(1024)->Arg(4096)->Arg(16384);
+
 void BM_BootRuntime(benchmark::State& state) {
   for (auto _ : state) {
     Sim sim(config::Configuration::simple(4));

@@ -35,7 +35,7 @@ std::vector<std::string> Configuration::validate(const flex::MachineSpec& spec) 
   int terminals = 0;
   for (const auto& c : clusters) {
     const std::string tag = "cluster " + std::to_string(c.number) + ": ";
-    if (c.number < 1) err(tag + "cluster numbers start at 1");
+    if (c.number < 0) err(tag + "cluster numbers must be non-negative");
     if (!numbers.insert(c.number).second) err(tag + "duplicate cluster number");
     if (!is_mmos(c.primary_pe)) {
       err(tag + "primary PE " + std::to_string(c.primary_pe) +

@@ -33,8 +33,8 @@ ClusterConfig* ConfigMenu::find_or_add(int number, std::ostream& out) {
   for (auto& c : cfg_.clusters) {
     if (c.number == number) return &c;
   }
-  if (number < 1) {
-    out << "cluster numbers start at 1\n";
+  if (number < 0) {
+    out << "cluster numbers must be non-negative\n";
     return nullptr;
   }
   ClusterConfig c;

@@ -137,17 +137,20 @@ AcceptResult TaskContext::accept(AcceptSpec spec) {
     }
     return false;
   };
+  // The per-type index finds each wanted type's earliest message directly;
+  // merging the candidates by send sequence preserves the old full-scan's
+  // arrival-order processing without touching unrelated queue entries.
   auto scan = [&] {
     auto& q = rec_->in_queue;
-    std::size_t i = 0;
-    while (i < q.size()) {
-      if (wants(q[i].type)) {
-        Message m = std::move(q[i]);
-        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
-        consume(std::move(m), res);  // handlers may push to the queue's back
-      } else {
-        ++i;
+    while (true) {
+      auto best = q.end();
+      for (const auto& t : spec.types) {
+        auto it = q.first_of(t.type);
+        if (it == q.end() || !wants(t.type)) continue;
+        if (best == q.end() || it->seq < best->seq) best = it;
       }
+      if (best == q.end()) break;
+      consume(q.take(best), res);  // handlers may push to the queue's back
     }
   };
 
@@ -179,8 +182,7 @@ AcceptResult TaskContext::accept(AcceptSpec spec) {
 
 Message TaskContext::wait_any_message() {
   while (rec_->in_queue.empty()) proc_->block();
-  Message m = std::move(rec_->in_queue.front());
-  rec_->in_queue.pop_front();
+  Message m = rec_->in_queue.pop_front();
   proc_->compute(rt_->costs().msg_accept_overhead + rt_->costs().heap_free);
   rt_->heap_release(m.heap_offset);
   sender_ = m.sender;

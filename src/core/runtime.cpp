@@ -17,11 +17,7 @@ constexpr std::size_t kCommonAreaBytes = 256 * 1024;
 }  // namespace
 
 int Cluster::free_user_slots() const {
-  int n = 0;
-  for (std::size_t s = kFirstUserSlot; s < slots.size(); ++s) {
-    if (slots[s]->state == TaskState::free_slot) ++n;
-  }
-  return n;
+  return static_cast<int>(free_slots.size());
 }
 
 Runtime::Runtime(mmos::System& sys, config::Configuration cfg)
@@ -98,8 +94,11 @@ void Runtime::boot() {
         "system-tables");
     for (int s = 0; s < total_slots; ++s) {
       cl->slots.push_back(std::make_unique<TaskRecord>());
+      if (s >= kFirstUserSlot) cl->free_slots.insert(s);
     }
-    if (terminal_cluster_ == 0 && ccfg.has_terminal) terminal_cluster_ = ccfg.number;
+    if (!terminal_cluster_.has_value() && ccfg.has_terminal) {
+      terminal_cluster_ = ccfg.number;
+    }
     by_number_[ccfg.number] = cl.get();
     clusters_.push_back(std::move(cl));
   }
@@ -149,10 +148,7 @@ void Runtime::start_controllers(Cluster& cl) {
 }
 
 int Runtime::find_free_slot(Cluster& cl) const {
-  for (std::size_t s = kFirstUserSlot; s < cl.slots.size(); ++s) {
-    if (cl.slots[s]->state == TaskState::free_slot) return static_cast<int>(s);
-  }
-  return -1;
+  return cl.free_slots.empty() ? -1 : *cl.free_slots.begin();
 }
 
 void Runtime::task_controller_body(Cluster& cl, TaskContext& ctx) {
@@ -199,6 +195,7 @@ void Runtime::start_task(Cluster& cl, TaskContext& ctl, int slot, PendingInitiat
     return;
   }
   ctl.proc().compute(costs().task_setup);
+  cl.free_slots.erase(slot);
   auto& rec = cl.slot(slot);
   rec.id = TaskId{cl.cfg.number, slot, ++next_unique_};
   rec.tasktype = req.tasktype;
@@ -243,6 +240,7 @@ void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
   if (rec.proc != nullptr && rec.proc->was_killed()) ++stats_.tasks_killed;
   rec.proc = nullptr;
   rec.state = TaskState::free_slot;
+  if (slot >= kFirstUserSlot) cl.free_slots.insert(slot);
   ++stats_.tasks_finished;
   // Wake the cluster's task controller so held initiates can proceed.
   if (auto* ctl = cl.slot(kTaskControllerSlot).proc) ctl->wake();
@@ -308,10 +306,12 @@ void Runtime::serve_window(Cluster& cl, TaskContext& ctl, const Message& m) {
     fail("window " + w.rect.str() + " outside array");
     return;
   }
-  // The controller shares the owner's PE, so the array is in reach of its
-  // local memory; charge a per-word copy cost.
-  ctl.proc().compute(static_cast<sim::Tick>(w.elements()) * costs().local_access);
+  // Validate everything before charging: a rejected request must not be
+  // billed for a copy that never happens.
   if (m.type == "_WINREAD") {
+    // The controller shares the owner's PE, so the array is in reach of its
+    // local memory; charge a per-word copy cost.
+    ctl.proc().compute(static_cast<sim::Tick>(w.elements()) * costs().local_access);
     Matrix part = fsim::copy_rect(arr, w.rect);
     ++stats_.window_reads;
     post(cl.controller_id(), &ctl.proc(), requester, "_WINDATA",
@@ -322,6 +322,7 @@ void Runtime::serve_window(Cluster& cl, TaskContext& ctl, const Message& m) {
       fail("write data size mismatch");
       return;
     }
+    ctl.proc().compute(static_cast<sim::Tick>(w.elements()) * costs().local_access);
     Matrix part(w.rect.rows, w.rect.cols);
     part.data() = data;
     fsim::paste_rect(arr, w.rect, part);
@@ -433,22 +434,47 @@ void Runtime::charge_shared(mmos::Proc& proc, std::size_t bytes) {
 }
 
 std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc) {
+  bool retried = false;
   while (true) {
     auto off = msg_heap_->allocate(bytes);
     if (off.has_value()) return *off;
     if (proc == nullptr) return kNoSpace;
     ++stats_.heap_full_waits;
-    heap_waiters_.push_back(proc);
+    const std::size_t need =
+        flex::SharedHeap::round_up(std::max<std::size_t>(bytes, 1));
+    // First wait joins the back of the FIFO; a sender whose retry lost to
+    // fragmentation goes back to the front so it keeps its turn.
+    if (retried) {
+      heap_waiters_.push_front(HeapWaiter{proc, need});
+    } else {
+      heap_waiters_.push_back(HeapWaiter{proc, need});
+    }
+    retried = true;
     proc->block();
   }
 }
 
 void Runtime::heap_release(std::size_t offset) {
   msg_heap_->release(offset);
-  if (!heap_waiters_.empty()) {
-    auto waiters = std::move(heap_waiters_);
-    heap_waiters_.clear();
-    for (auto* w : waiters) w->wake();
+  if (heap_waiters_.empty()) return;
+  // Wake blocked senders first-fit in FIFO order: the oldest waiter whose
+  // block fits is woken, then the next, while recovered space (bounded by
+  // the total free bytes) plausibly remains. Everyone left keeps waiting for
+  // the next release instead of stampeding awake only to re-block.
+  const std::size_t largest = msg_heap_->largest_free_block();
+  std::size_t budget = msg_heap_->capacity() - msg_heap_->in_use();
+  for (auto it = heap_waiters_.begin(); it != heap_waiters_.end();) {
+    if (it->proc == nullptr || it->proc->finished()) {
+      it = heap_waiters_.erase(it);
+      continue;
+    }
+    if (it->need <= largest && it->need <= budget) {
+      budget -= it->need;
+      it->proc->wake();
+      it = heap_waiters_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -497,7 +523,11 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   stats_.message_bytes_sent += bytes;
   trace_event(trace::EventKind::msg_send, from, to,
               sender_proc != nullptr ? sender_proc->pe() : 0, msg.seq, msg.type);
-  (to_reply_queue ? rec->replies : rec->in_queue).push_back(std::move(msg));
+  if (to_reply_queue) {
+    rec->replies.push_back(std::move(msg));
+  } else {
+    rec->in_queue.push_back(std::move(msg));
+  }
   if (rec->proc != nullptr) rec->proc->wake();
   return true;
 }
@@ -514,17 +544,24 @@ int Runtime::resolve_where(const Where& where, int my_cluster) const {
       return my_cluster;
     case Where::Kind::any:
     case Where::Kind::other: {
-      // "ANY -- run in a system-chosen cluster": pick the most free slots,
-      // lowest number on ties (deterministic).
+      // "ANY -- run in a system-chosen cluster": pick the most free slots;
+      // equal free-slot counts tie-break on the shorter held-initiate
+      // backlog (a congested cluster's free count says nothing about the
+      // requests already queued for its slots), then lowest number
+      // (deterministic). free_user_slots()/pending are O(1), so the whole
+      // choice is O(clusters).
       int best = -1;
       int best_free = -1;
+      std::size_t best_backlog = 0;
       for (const auto& cl : clusters_) {
         if (where.kind == Where::Kind::other && cl->cfg.number == my_cluster) {
           continue;
         }
         const int f = cl->free_user_slots();
-        if (f > best_free) {
+        const std::size_t backlog = cl->pending.size();
+        if (f > best_free || (f == best_free && backlog < best_backlog)) {
           best_free = f;
+          best_backlog = backlog;
           best = cl->cfg.number;
         }
       }
@@ -590,7 +627,8 @@ int Runtime::delete_messages(TaskId id, const std::string& type) {
 }
 
 TaskId Runtime::user_controller_id() const {
-  auto it = by_number_.find(terminal_cluster_);
+  if (!terminal_cluster_.has_value()) return {};
+  auto it = by_number_.find(*terminal_cluster_);
   if (it == by_number_.end()) return {};
   return it->second->slot(kUserControllerSlot).id;
 }

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,10 @@ struct Cluster {
   config::ClusterConfig cfg;
   std::vector<std::unique_ptr<TaskRecord>> slots;
   std::deque<PendingInitiate> pending;
+  /// Free user slots, kept in sync by start_task/finish_task so slot lookup
+  /// and placement never rescan the slot table. Ordered so the lowest slot
+  /// number is handed out first (deterministic, matches the old scan).
+  std::set<int> free_slots;
 
   // File-controller state (present when a file store is attached).
   std::optional<fsim::FileStore> files;
@@ -207,12 +212,25 @@ class Runtime {
   std::unique_ptr<flex::SharedHeap> common_heap_;
   std::vector<std::unique_ptr<Cluster>> clusters_;  // indexed by position
   std::map<int, Cluster*> by_number_;
-  int terminal_cluster_ = 0;
+  /// Cluster whose user controller serves the terminal; unset until boot
+  /// finds the first cluster configured with a terminal. An explicit "unset"
+  /// state (not a sentinel number) so any legal cluster number — including
+  /// 0 — can own the terminal.
+  std::optional<int> terminal_cluster_;
   std::uint64_t next_unique_ = 0;
   std::uint64_t next_msg_seq_ = 0;
   std::uint64_t next_request_id_ = 0;
   std::vector<std::tuple<int, fsim::FileStore, int>> pending_file_stores_;
-  std::vector<mmos::Proc*> heap_waiters_;
+
+  /// A sender blocked on a full message heap, with the block size it needs.
+  struct HeapWaiter {
+    mmos::Proc* proc = nullptr;
+    std::size_t need = 0;
+  };
+  /// FIFO of blocked senders. heap_release wakes waiters in arrival order,
+  /// first-fit against the recovered space, instead of waking everyone to
+  /// stampede for it.
+  std::deque<HeapWaiter> heap_waiters_;
   RuntimeStats stats_;
   bool booted_ = false;
   bool timed_out_ = false;

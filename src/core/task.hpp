@@ -10,6 +10,7 @@
 #include "core/ids.hpp"
 #include "core/matrix.hpp"
 #include "core/message.hpp"
+#include "core/msg_queue.hpp"
 #include "core/value.hpp"
 #include "mmos/proc.hpp"
 
@@ -48,7 +49,7 @@ struct TaskRecord {
   mmos::Proc* proc = nullptr;
   sim::Tick initiated_at = 0;
 
-  std::deque<Message> in_queue;   ///< user-visible messages, arrival order
+  MessageQueue in_queue;          ///< user-visible messages, arrival order + type index
   std::deque<Message> replies;    ///< internal system replies (window service)
   bool waiting_in_accept = false;
 

@@ -1,8 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -11,29 +12,32 @@ namespace pisces::sim {
 
 /// Time-ordered queue of simulation events. Events at the same tick fire in
 /// insertion order (a stable tiebreak is essential for determinism).
+///
+/// Implemented as an explicit binary heap (std::push_heap/std::pop_heap on
+/// a std::vector) rather than std::priority_queue: pop() moves the action
+/// out of the popped element directly, with no const_cast of top() needed.
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
   void push(Tick at, Action action) {
-    heap_.push(Event{at, next_seq_++, std::move(action)});
+    heap_.push_back(Event{at, next_seq_++, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Tick of the earliest pending event. Queue must be non-empty.
-  [[nodiscard]] Tick next_tick() const { return heap_.top().at; }
+  [[nodiscard]] Tick next_tick() const { return heap_.front().at; }
 
   /// Remove and return the earliest event's action. Queue must be non-empty.
   Action pop(Tick* at = nullptr) {
-    // priority_queue::top() is const; the action is moved out under a
-    // const_cast, which is safe because the element is popped immediately.
-    auto& top = const_cast<Event&>(heap_.top());
-    if (at != nullptr) *at = top.at;
-    Action action = std::move(top.action);
-    heap_.pop();
-    return action;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
+    if (at != nullptr) *at = event.at;
+    return std::move(event.action);
   }
 
  private:
@@ -49,7 +53,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

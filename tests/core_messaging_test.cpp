@@ -544,5 +544,133 @@ TEST(Stats, MessageAccountingBalances) {
   EXPECT_GT(f->stats().message_bytes_sent, 0u);
 }
 
+TEST(MessageQueue, TypeIndexTracksArrivalOrder) {
+  MessageQueue q;
+  auto mk = [](std::string type, std::uint64_t seq) {
+    Message m;
+    m.type = std::move(type);
+    m.seq = seq;
+    return m;
+  };
+  q.push_back(mk("a", 1));
+  q.push_back(mk("b", 2));
+  q.push_back(mk("a", 3));
+  q.push_back(mk("c", 4));
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.count("a"), 2u);
+  EXPECT_EQ(q.count("missing"), 0u);
+  EXPECT_EQ(q.first_of("a")->seq, 1u);
+  EXPECT_EQ(q.first_of("missing"), q.end());
+
+  Message a1 = q.take(q.first_of("a"));
+  EXPECT_EQ(a1.seq, 1u);
+  EXPECT_EQ(q.count("a"), 1u);
+  EXPECT_EQ(q.first_of("a")->seq, 3u);
+
+  Message front = q.pop_front();
+  EXPECT_EQ(front.type, "b");
+
+  // The erase-loop form used by DELETE MESSAGES.
+  for (auto it = q.begin(); it != q.end();) {
+    it = it->type == "c" ? q.erase(it) : std::next(it);
+  }
+  EXPECT_EQ(q.count("c"), 0u);
+  EXPECT_EQ(q.size(), 1u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression: ON ANY/OTHER placement used to look only at free slots, so a
+// congested cluster (zero free, long held-initiate backlog) tied with a
+// quiet one (zero free, empty backlog) and could win on cluster order.
+TEST(Placement, OtherPrefersShorterBacklogOnFreeSlotTie) {
+  config::Configuration cfg = config::Configuration::simple(3);
+  cfg.clusters[1].slots = 1;  // cluster 2
+  cfg.clusters[2].slots = 1;  // cluster 3
+  Fixture f(cfg);
+  int probe_cluster = -1;
+  f->register_tasktype("blocker", [](TaskContext& ctx) {
+    ctx.accept(AcceptSpec{}.of("release").forever());
+  });
+  f->register_tasktype("probe",
+                       [&](TaskContext& ctx) { probe_cluster = ctx.cluster(); });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Cluster(2), "blocker");
+    ctx.initiate(Where::Cluster(3), "blocker");
+    // Two more for cluster 2: held in its backlog once the slot is taken.
+    ctx.initiate(Where::Cluster(2), "blocker");
+    ctx.initiate(Where::Cluster(2), "blocker");
+    ctx.compute(1'000'000);  // let the controllers process the initiates
+    ASSERT_EQ(f->cluster(2).pending.size(), 2u);
+    ASSERT_EQ(f->cluster(2).free_user_slots(), 0);
+    ASSERT_EQ(f->cluster(3).free_user_slots(), 0);
+    // Both candidates have zero free slots; cluster 3's empty backlog must
+    // win the tie.
+    ctx.initiate(Where::Other(), "probe");
+    ctx.compute(1'000'000);
+    ctx.broadcast("release");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(probe_cluster, 3);
+}
+
+// Regression: the terminal cluster was remembered with 0 as the "unset"
+// sentinel, so a terminal on a legitimately numbered cluster 0 could have
+// the USER destination stolen by a later terminal cluster.
+TEST(Boot, ClusterZeroWithTerminalKeepsUserDestination) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.clusters[0].number = 0;           // the terminal cluster is number 0
+  cfg.clusters[1].has_terminal = true;  // a later cluster also has one
+  Fixture f(cfg);
+  f->register_tasktype("main", [&](TaskContext& ctx) { ctx.print("hello"); });
+  f->boot();
+  EXPECT_EQ(f->user_controller_id().cluster, 0);
+  EXPECT_TRUE(f->user_controller_id().valid());
+  f->user_initiate(0, "main");
+  f->run();
+  // TO USER from the task reached the cluster-0 user controller.
+  EXPECT_EQ(f->stats().dead_letters, 0u);
+  EXPECT_EQ(f->stats().tasks_finished, 1u);
+}
+
+// Several senders blocked on a full heap are woken first-fit in FIFO order
+// as space is recovered; every message must still get through.
+TEST(Heap, ManyBlockedSendersAllComplete) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.clusters[0].slots = 6;
+  cfg.message_heap_bytes = 8192;  // tiny: producers outrun the heap
+  Fixture f(cfg);
+  int received = 0;
+  f->register_tasktype("producer", [&](TaskContext& ctx) {
+    for (int i = 0; i < 8; ++i) {
+      ctx.send(Dest::To(f->cluster(2).slot(kFirstUserSlot).id), "blob",
+               {Value(std::vector<double>(120, 0.0))});
+    }
+  });
+  f->register_tasktype("sink", [&](TaskContext& ctx) {
+    for (int i = 0; i < 32; ++i) {
+      auto res = ctx.accept(AcceptSpec{}.of("blob").forever());
+      received += res.count("blob");
+      ctx.compute(20'000);  // accept slowly
+    }
+    ctx.send(Dest::Parent(), "done");
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Cluster(2), "sink");
+    ctx.compute(1'000'000);
+    for (int p = 0; p < 4; ++p) ctx.initiate(Where::Same(), "producer");
+    ctx.accept(AcceptSpec{}.of("done").forever());
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(received, 32);
+  EXPECT_GT(f->stats().heap_full_waits, 0u);
+  EXPECT_EQ(f->message_heap().in_use(), 0u);
+  EXPECT_FALSE(f->timed_out());
+}
+
 }  // namespace
 }  // namespace pisces::rt

@@ -338,5 +338,44 @@ TEST(FileWindow, DisjointReadsPipelineConflictingWritesSerialize) {
   EXPECT_GT(overlapping_writes, disjoint_reads);
 }
 
+// A _WINWRITE whose payload does not match the window must be rejected
+// BEFORE the controller is charged the per-word copy cost. The window here
+// covers 100x100 = 10,000 elements, so a pre-validation charge would add
+// 10,000 ticks of controller CPU; everything the controller legitimately
+// does in this scenario (boot, one task_setup, a few message overheads)
+// stays well under half of that.
+TEST(Window, RejectedWriteIsNotBilledForTheCopy) {
+  Fixture f;
+  double untouched = -1.0;
+  f->register_tasktype("owner", [&](TaskContext& ctx) {
+    auto& arr = ctx.local_array("A", 100, 100);
+    arr.data.at(0, 0) = 42.0;
+    ctx.send(Dest::Parent(), "win", {Value(ctx.make_window("A"))});
+    ctx.accept(AcceptSpec{}.of("release").forever());
+    untouched = ctx.array_data("A").at(0, 0);
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    Window w;
+    ctx.on_message("win", [&w](TaskContext&, const Message& m) {
+      w = m.args.at(0).as_window();
+    });
+    ctx.initiate(Where::Cluster(2), "owner");
+    ctx.accept(AcceptSpec{}.of("win").forever());
+    // Valid owner, array, and rect — but a 4-element payload for a
+    // 10,000-element window. The owner's controller must bounce it.
+    ctx.send(Dest::TContr(2), "_WINWRITE",
+             {Value(1), Value(w), Value(std::vector<double>(4, 0.0))});
+    ctx.send(Dest::To(w.owner), "release");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_EQ(f->stats().window_writes, 0u);
+  EXPECT_EQ(untouched, 42.0);
+  const auto& ctl = f->cluster(2).slot(kTaskControllerSlot);
+  ASSERT_NE(ctl.proc, nullptr);
+  EXPECT_LT(ctl.proc->cpu_ticks(), 5'000);
+}
+
 }  // namespace
 }  // namespace pisces::rt

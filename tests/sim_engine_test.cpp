@@ -261,6 +261,32 @@ TEST(Engine, ManyProcessesDeterministicFinalTime) {
   EXPECT_EQ(a, b);
 }
 
+// Same-tick events must fire in insertion order even when pops and pushes
+// interleave (the heap reorders internally; the seq tiebreak is what keeps
+// the observable order stable).
+TEST(EventQueue, PopPushInterleavingKeepsSameTickStable) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.push(10, [&order, i] { order.push_back(i); });
+  }
+  q.push(5, [&order] { order.push_back(-1); });
+  Tick at = 0;
+  q.pop(&at)();
+  EXPECT_EQ(at, 5);
+  for (int i = 8; i < 12; ++i) {
+    q.push(10, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.next_tick(), 10);
+    q.pop(&at)();
+    EXPECT_EQ(at, 10);
+  }
+  std::vector<int> want{-1};
+  for (int i = 0; i < 12; ++i) want.push_back(i);
+  EXPECT_EQ(order, want);
+}
+
 TEST(Engine, LiveProcessCountDropsAsBodiesFinish) {
   Engine eng;
   Process& p1 = eng.spawn("a", [](Process&) {});
