@@ -48,6 +48,24 @@ void render_section9_shape() {
   env.display_organization(std::cout);
 }
 
+void render_least_loaded_shape() {
+  banner("E2c: a least-loaded cluster — user tasks spread over its PEs");
+  config::Configuration cfg = config::Configuration::simple(1, /*slots=*/6);
+  cfg.name = "least-loaded";
+  cfg.clusters[0].secondary_pes = {4, 5};
+  cfg.clusters[0].place = config::PlacePolicy::least_loaded;
+  Sim sim(cfg);
+  sim.rt().register_tasktype("usertask", [](rt::TaskContext& ctx) {
+    ctx.accept(rt::AcceptSpec{}.of("stop").delay_for(5'000'000));
+  });
+  sim.rt().boot();
+  for (int i = 0; i < 4; ++i) sim.rt().user_initiate(1, "usertask");
+  sim.rt().run_for(2'000'000);
+  exec::ExecutionEnvironment env(sim.rt());
+  env.display_organization(std::cout);
+  note("each occupied user slot shows the PE its process landed on (@PE).");
+}
+
 void BM_RenderOrganization(benchmark::State& state) {
   Sim sim(config::Configuration::section9_example());
   sim.rt().boot();
@@ -68,6 +86,7 @@ int main(int argc, char** argv) {
                "(paper Figure 1)\n";
   render_figure1_shape();
   render_section9_shape();
+  render_least_loaded_shape();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -187,6 +187,46 @@ void broadcast_table(JsonReport& report) {
   note("both are software loops over the receivers — near-identical, linear.");
 }
 
+/// Makespan of eight CPU-bound tasks on one cluster with three secondary
+/// PEs, under a given placement policy. Every metric is simulated ticks.
+sim::Tick cluster_makespan(config::PlacePolicy place) {
+  config::Configuration cfg = config::Configuration::simple(1, /*slots=*/12);
+  cfg.clusters[0].secondary_pes = {4, 5, 6};
+  cfg.clusters[0].place = place;
+  Sim sim(cfg);
+  sim.rt().register_tasktype("crunch", [](rt::TaskContext& ctx) {
+    ctx.compute(2'000'000);
+    ctx.send(rt::Dest::Parent(), "done");
+  });
+  sim::Tick elapsed = 0;
+  run_main(sim, [&](rt::TaskContext& ctx) {
+    const sim::Tick start = sim.engine.now();
+    for (int i = 0; i < 8; ++i) ctx.initiate(rt::Where::Same(), "crunch");
+    ctx.accept(rt::AcceptSpec{}.of("done", 8).forever());
+    elapsed = sim.engine.now() - start;
+  });
+  return elapsed;
+}
+
+void placement_table(JsonReport& report) {
+  banner("E4d: task placement — primary vs least-loaded (3 secondaries)");
+  // Under `primary` (the paper's behaviour) all eight tasks time-share the
+  // primary PE; `least-loaded` spreads them over the cluster's four PEs.
+  const sim::Tick on_primary = cluster_makespan(config::PlacePolicy::primary);
+  const sim::Tick spread = cluster_makespan(config::PlacePolicy::least_loaded);
+  const std::int64_t speedup_pct = 100 * on_primary / spread;
+  Table t({"policy", "makespan (ticks)", "speedup %"});
+  t.row("primary", on_primary, 100);
+  t.row("least-loaded", spread, speedup_pct);
+  report.begin_section("placement_cluster_spread");
+  report.body << "{\"policy\": \"primary\", \"makespan_ticks\": " << on_primary
+              << "}, {\"policy\": \"least-loaded\", \"makespan_ticks\": "
+              << spread << ", \"speedup_pct\": " << speedup_pct << "}";
+  report.end_section();
+  note("8 tasks x 2M ticks: the primary policy serializes them on one PE;\n"
+       "least-loaded uses all four PEs of the cluster.");
+}
+
 void BM_SendAcceptRoundTrip(benchmark::State& state) {
   // Host-time cost of a full simulated ping-pong round (engine + runtime).
   for (auto _ : state) {
@@ -229,6 +269,7 @@ int main(int argc, char** argv) {
   latency_table(report);
   throughput_table(report);
   broadcast_table(report);
+  placement_table(report);
   report.write(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -8,6 +8,23 @@
 
 namespace pisces::config {
 
+const char* place_policy_name(PlacePolicy p) {
+  switch (p) {
+    case PlacePolicy::primary: return "primary";
+    case PlacePolicy::least_loaded: return "least-loaded";
+    case PlacePolicy::round_robin: return "round-robin";
+  }
+  return "?";
+}
+
+std::optional<PlacePolicy> place_policy_from_name(const std::string& name) {
+  for (PlacePolicy p : {PlacePolicy::primary, PlacePolicy::least_loaded,
+                        PlacePolicy::round_robin}) {
+    if (name == place_policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
 const ClusterConfig* Configuration::find_cluster(int number) const {
   for (const auto& c : clusters) {
     if (c.number == number) return &c;
@@ -83,7 +100,11 @@ void Configuration::save(std::ostream& os) const {
      << loadfile.pisces_code_bytes << " " << loadfile.user_code_bytes << "\n";
   for (const auto& c : clusters) {
     os << "cluster " << c.number << " primary " << c.primary_pe << " slots "
-       << c.slots << " terminal " << (c.has_terminal ? 1 : 0) << " secondaries";
+       << c.slots << " terminal " << (c.has_terminal ? 1 : 0);
+    if (c.place != PlacePolicy::primary) {
+      os << " place " << place_policy_name(c.place);
+    }
+    os << " secondaries";
     for (int pe : c.secondary_pes) os << " " << pe;
     os << "\n";
   }
@@ -131,6 +152,15 @@ Configuration Configuration::load(std::istream& is) {
           int t = 0;
           ls >> t;
           c.has_terminal = t != 0;
+        } else if (tok == "place") {
+          std::string policy;
+          ls >> policy;
+          auto p = place_policy_from_name(policy);
+          if (!p.has_value()) {
+            throw std::runtime_error(
+                "Configuration::load: unknown placement policy '" + policy + "'");
+          }
+          c.place = *p;
         } else if (tok == "secondaries") {
           int pe = 0;
           while (ls >> pe) c.secondary_pes.push_back(pe);

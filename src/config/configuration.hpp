@@ -13,16 +13,34 @@
 
 namespace pisces::config {
 
+/// Where a cluster's user tasks are placed among its PEs. Fixed at run
+/// configuration time (like the size of a force, Section 7): `primary`
+/// reproduces the paper's description (all user tasks on the primary PE);
+/// `least_loaded` and `round_robin` spread tasks across the primary AND the
+/// secondary PEs, treating the cluster as the "group of processing
+/// resources" of Sections 4-5.
+enum class PlacePolicy {
+  primary,       ///< every user task on the primary PE (paper behaviour)
+  least_loaded,  ///< PE with the fewest unfinished processes at start time
+  round_robin,   ///< cycle through primary then secondaries
+};
+
+[[nodiscard]] const char* place_policy_name(PlacePolicy p);
+[[nodiscard]] std::optional<PlacePolicy> place_policy_from_name(
+    const std::string& name);
+
 /// The mapping of one virtual-machine cluster onto hardware (Section 9):
-/// the primary PE (all user tasks of the cluster run there), the secondary
-/// PEs (run force members after a FORCESPLIT; may be shared with other
-/// clusters), and the number of user-task slots.
+/// the primary PE (controllers always run there), the secondary PEs (run
+/// force members after a FORCESPLIT and, under a non-default placement
+/// policy, user tasks; may be shared with other clusters), the number of
+/// user-task slots, and the task placement policy.
 struct ClusterConfig {
   int number = 0;
   int primary_pe = 0;
   std::vector<int> secondary_pes;
   int slots = 4;
   bool has_terminal = false;  ///< cluster has a user controller
+  PlacePolicy place = PlacePolicy::primary;
 };
 
 /// Trace settings stored with the configuration ("The configuration includes

@@ -72,6 +72,20 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
     } else {
       out << "usage: secondaries <cluster> <pe|lo-hi>...\n";
     }
+  } else if (cmd == "place") {
+    int n = 0;
+    std::string policy;
+    if (is >> n >> policy) {
+      auto p = place_policy_from_name(policy);
+      if (!p.has_value()) {
+        out << "unknown placement policy '" << policy
+            << "' (use primary, least-loaded, round-robin)\n";
+      } else if (auto* c = find_or_add(n, out)) {
+        c->place = *p;
+      }
+    } else {
+      out << "usage: place <cluster> <primary|least-loaded|round-robin>\n";
+    }
   } else if (cmd == "slots") {
     int n = 0;
     int count = 0;

@@ -54,15 +54,24 @@ bool TaskContext::send(Dest dest, std::string type, std::vector<Value> args) {
 
 int TaskContext::broadcast(std::string type, std::vector<Value> args,
                            std::optional<int> cluster_number) {
-  int delivered = 0;
+  // Snapshot the target taskids before the first send: each post can block
+  // on a full message heap, during which slots may empty and be reused by
+  // new tasks. Iterating the live slot table across those blocks would skip
+  // some tasks and deliver to ones initiated *after* the broadcast began.
+  // Targets that die while we block become dead letters in post().
+  std::vector<TaskId> targets;
   for (const auto& cl : rt_->clusters_) {
     if (cluster_number.has_value() && cl->cfg.number != *cluster_number) continue;
     for (std::size_t s = kFirstUserSlot; s < cl->slots.size(); ++s) {
       const TaskRecord& r = *cl->slots[s];
       if (r.state == TaskState::free_slot || r.id == self()) continue;
-      proc_->compute(rt_->costs().msg_send_overhead);
-      if (rt_->post(self(), proc_, r.id, type, args)) ++delivered;
+      targets.push_back(r.id);
     }
+  }
+  int delivered = 0;
+  for (const TaskId& to : targets) {
+    proc_->compute(rt_->costs().msg_send_overhead);
+    if (rt_->post(self(), proc_, to, type, args)) ++delivered;
   }
   rt_->stats_.broadcast_copies += static_cast<std::uint64_t>(delivered);
   return delivered;

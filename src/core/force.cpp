@@ -42,6 +42,10 @@ void LockVar::acquire(mmos::Proc& p, const TaskRecord& rec) {
   if (locked_) {
     ++contended_;
     waiters_.push_back(&p);
+    // A waiter killed here unwinds via ProcessKilled out of block() without
+    // touching the lock again — the LockVar may already be destroyed by the
+    // time a killed member resumes (finish_task reaps members, then clears
+    // the task's locks). Its stale queue entry is skipped by hand_off().
     while (owner_ != &p) p.block();
   } else {
     locked_ = true;
@@ -56,6 +60,15 @@ void LockVar::release(mmos::Proc& p, const TaskRecord& rec) {
   }
   p.compute(rt_->costs().lock_op);
   rt_->charge_shared(p, 8);
+  hand_off();
+  rt_->trace_event(trace::EventKind::unlock, rec.id, {}, p.pe(), 0, name_);
+}
+
+void LockVar::hand_off() {
+  while (!waiters_.empty() &&
+         (waiters_.front()->finished() || waiters_.front()->was_killed())) {
+    waiters_.pop_front();
+  }
   if (waiters_.empty()) {
     locked_ = false;
     owner_ = nullptr;
@@ -64,7 +77,6 @@ void LockVar::release(mmos::Proc& p, const TaskRecord& rec) {
     waiters_.pop_front();
     owner_->wake();
   }
-  rt_->trace_event(trace::EventKind::unlock, rec.id, {}, p.pe(), 0, name_);
 }
 
 // ---- ForceState ----

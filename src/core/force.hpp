@@ -65,6 +65,11 @@ class LockVar {
   [[nodiscard]] std::uint64_t contended_acquires() const { return contended_; }
 
  private:
+  /// Pass ownership to the oldest *live* waiter, or unlock if none remain.
+  /// Waiters killed while queued can never enter their critical section, so
+  /// handing them the lock would deadlock everyone queued behind them.
+  void hand_off();
+
   Runtime* rt_;
   std::string name_;
   bool locked_ = false;

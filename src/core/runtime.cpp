@@ -129,6 +129,7 @@ void Runtime::start_controllers(Cluster& cl) {
     rec.id = TaskId{cl.cfg.number, slot, ++next_unique_};
     rec.tasktype = tasktype;
     rec.state = TaskState::running;
+    rec.pe = cl.cfg.primary_pe;  // controllers always run on the primary
     rec.initiated_at = sys_->engine().now();
     auto& proc = sys_->kernel(cl.cfg.primary_pe)
                      .create_process(tasktype + "@" + std::to_string(cl.cfg.number),
@@ -149,6 +150,42 @@ void Runtime::start_controllers(Cluster& cl) {
 
 int Runtime::find_free_slot(Cluster& cl) const {
   return cl.free_slots.empty() ? -1 : *cl.free_slots.begin();
+}
+
+int Runtime::place_task_pe(Cluster& cl) {
+  switch (cl.cfg.place) {
+    case config::PlacePolicy::primary:
+      return cl.cfg.primary_pe;
+    case config::PlacePolicy::least_loaded: {
+      // Strict < over the primary-first order: ties go to the earlier PE, so
+      // an idle configuration places exactly like `primary` would.
+      int best = cl.cfg.primary_pe;
+      std::size_t best_load = sys_->kernel(best).live_count();
+      for (int pe : cl.cfg.secondary_pes) {
+        const std::size_t load = sys_->kernel(pe).live_count();
+        if (load < best_load) {
+          best = pe;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case config::PlacePolicy::round_robin: {
+      const std::size_t n = 1 + cl.cfg.secondary_pes.size();
+      const std::size_t k = cl.rr_next++ % n;
+      return k == 0 ? cl.cfg.primary_pe
+                    : cl.cfg.secondary_pes[k - 1];
+    }
+  }
+  return cl.cfg.primary_pe;
+}
+
+Matrix* Runtime::live_window_array(const Window& w) {
+  TaskRecord* owner = live_record(w.owner);
+  if (owner == nullptr) return nullptr;
+  auto it = owner->arrays.find(w.array);
+  if (it == owner->arrays.end()) return nullptr;
+  return &it->second.data;
 }
 
 void Runtime::task_controller_body(Cluster& cl, TaskContext& ctx) {
@@ -205,8 +242,10 @@ void Runtime::start_task(Cluster& cl, TaskContext& ctl, int slot, PendingInitiat
   rec.init_args = std::move(req.args);
   ++stats_.tasks_started;
   const TaskId id = rec.id;
+  const int pe = place_task_pe(cl);
+  rec.pe = pe;
   TaskBody body = it->second;
-  auto& proc = sys_->kernel(cl.cfg.primary_pe)
+  auto& proc = sys_->kernel(pe)
                    .create_process(req.tasktype + id.str(),
                                    [this, &cl, slot, body](mmos::Proc& p) {
                                      auto& r = cl.slot(slot);
@@ -216,15 +255,13 @@ void Runtime::start_task(Cluster& cl, TaskContext& ctl, int slot, PendingInitiat
                                    });
   rec.proc = &proc;
   proc.on_exit([this, &cl, slot, id] { finish_task(cl, slot, id); });
-  trace_event(trace::EventKind::task_init, id, req.parent, cl.cfg.primary_pe, 0,
-              req.tasktype);
+  trace_event(trace::EventKind::task_init, id, req.parent, pe, 0, req.tasktype);
 }
 
 void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
   auto& rec = cl.slot(slot);
   if (rec.id != id || rec.state == TaskState::free_slot) return;
-  trace_event(trace::EventKind::task_term, id, {}, cl.cfg.primary_pe, 0,
-              rec.tasktype);
+  trace_event(trace::EventKind::task_term, id, {}, rec.pe, 0, rec.tasktype);
   // Reap force members left behind by a kill mid-force.
   for (auto* member : rec.force_members) member->kill();
   rec.force_members.clear();
@@ -295,24 +332,42 @@ void Runtime::serve_window(Cluster& cl, TaskContext& ctl, const Message& m) {
     fail("window owner " + w.owner.str() + " is not running");
     return;
   }
-  auto it = owner->arrays.find(w.array);
-  if (it == owner->arrays.end()) {
-    fail("owner has no array id " + std::to_string(w.array));
-    return;
-  }
-  Matrix& arr = it->second.data;
-  if (!w.rect.valid() || w.rect.row0 + w.rect.rows > arr.rows() ||
-      w.rect.col0 + w.rect.cols > arr.cols()) {
-    fail("window " + w.rect.str() + " outside array");
-    return;
+  {
+    auto it = owner->arrays.find(w.array);
+    if (it == owner->arrays.end()) {
+      fail("owner has no array id " + std::to_string(w.array));
+      return;
+    }
+    const Matrix& arr = it->second.data;
+    if (!w.rect.valid() || w.rect.row0 + w.rect.rows > arr.rows() ||
+        w.rect.col0 + w.rect.cols > arr.cols()) {
+      fail("window " + w.rect.str() + " outside array");
+      return;
+    }
   }
   // Validate everything before charging: a rejected request must not be
-  // billed for a copy that never happens.
+  // billed for a copy that never happens. The charge blocks the controller,
+  // so the array must be re-resolved afterwards — the owner may be killed
+  // while the copy is in flight, destroying the storage the window names.
+  // When the owner's task was placed on another PE, the controller pulls
+  // the window across the bus instead of out of its own local memory.
+  const bool cross_pe = owner->pe != ctl.proc().pe();
+  auto charge_copy = [&] {
+    if (cross_pe) {
+      charge_shared(ctl.proc(), w.bytes());
+    } else {
+      ctl.proc().compute(static_cast<sim::Tick>(w.elements()) *
+                         costs().local_access);
+    }
+  };
   if (m.type == "_WINREAD") {
-    // The controller shares the owner's PE, so the array is in reach of its
-    // local memory; charge a per-word copy cost.
-    ctl.proc().compute(static_cast<sim::Tick>(w.elements()) * costs().local_access);
-    Matrix part = fsim::copy_rect(arr, w.rect);
+    charge_copy();
+    Matrix* arr = live_window_array(w);
+    if (arr == nullptr) {
+      fail("window owner " + w.owner.str() + " died during the transfer");
+      return;
+    }
+    Matrix part = fsim::copy_rect(*arr, w.rect);
     ++stats_.window_reads;
     post(cl.controller_id(), &ctl.proc(), requester, "_WINDATA",
          {Value(rid), Value(std::move(part.data()))}, /*to_reply_queue=*/true);
@@ -322,10 +377,15 @@ void Runtime::serve_window(Cluster& cl, TaskContext& ctl, const Message& m) {
       fail("write data size mismatch");
       return;
     }
-    ctl.proc().compute(static_cast<sim::Tick>(w.elements()) * costs().local_access);
+    charge_copy();
+    Matrix* arr = live_window_array(w);
+    if (arr == nullptr) {
+      fail("window owner " + w.owner.str() + " died during the transfer");
+      return;
+    }
     Matrix part(w.rect.rows, w.rect.cols);
     part.data() = data;
-    fsim::paste_rect(arr, w.rect, part);
+    fsim::paste_rect(*arr, w.rect, part);
     ++stats_.window_writes;
     post(cl.controller_id(), &ctl.proc(), requester, "_WINACK", {Value(rid)},
          /*to_reply_queue=*/true);
@@ -521,8 +581,13 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   msg.seq = ++next_msg_seq_;
   ++stats_.messages_sent;
   stats_.message_bytes_sent += bytes;
-  trace_event(trace::EventKind::msg_send, from, to,
-              sender_proc != nullptr ? sender_proc->pe() : 0, msg.seq, msg.type);
+  int sender_pe = 0;
+  if (sender_proc != nullptr) {
+    sender_pe = sender_proc->pe();
+  } else if (TaskRecord* sender = live_record(from)) {
+    sender_pe = sender->pe;  // proc-less sends (environment) still have a home PE
+  }
+  trace_event(trace::EventKind::msg_send, from, to, sender_pe, msg.seq, msg.type);
   if (to_reply_queue) {
     rec->replies.push_back(std::move(msg));
   } else {
@@ -659,7 +724,7 @@ std::vector<Runtime::TaskInfo> Runtime::running_tasks() const {
       info.id = rec->id;
       info.tasktype = rec->tasktype;
       info.state = rec->state;
-      info.pe = cl->cfg.primary_pe;
+      info.pe = rec->pe;
       info.queue_length = rec->in_queue.size();
       info.initiated_at = rec->initiated_at;
       out.push_back(std::move(info));

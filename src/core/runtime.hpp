@@ -40,6 +40,8 @@ struct Cluster {
   /// and placement never rescan the slot table. Ordered so the lowest slot
   /// number is handed out first (deterministic, matches the old scan).
   std::set<int> free_slots;
+  /// Round-robin placement cursor over {primary} ∪ secondary_pes.
+  std::size_t rr_next = 0;
 
   // File-controller state (present when a file store is attached).
   std::optional<fsim::FileStore> files;
@@ -182,6 +184,11 @@ class Runtime {
   int resolve_where(const Where& where, int my_cluster) const;
   [[nodiscard]] TaskRecord* live_record(TaskId id);
   [[nodiscard]] int find_free_slot(Cluster& cl) const;
+  /// Pick the PE for a new user task per the cluster's placement policy.
+  [[nodiscard]] int place_task_pe(Cluster& cl);
+  /// Re-resolve a window's backing array after a blocking charge: the owner
+  /// may have been killed meanwhile, freeing the storage. Null if gone.
+  [[nodiscard]] Matrix* live_window_array(const Window& w);
 
   /// Sentinel from heap_allocate_blocking when no proc was given and the
   /// heap is full (environment-originated messages are dropped, not blocked).

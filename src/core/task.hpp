@@ -47,6 +47,7 @@ struct TaskRecord {
   TaskId parent{};
   TaskState state = TaskState::free_slot;
   mmos::Proc* proc = nullptr;
+  int pe = 0;  ///< PE the task's process was placed on (see PlacePolicy)
   sim::Tick initiated_at = 0;
 
   MessageQueue in_queue;          ///< user-visible messages, arrival order + type index

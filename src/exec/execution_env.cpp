@@ -283,7 +283,11 @@ void ExecutionEnvironment::display_organization(std::ostream& out) const {
   out << "+------------------------------------------------------------+\n";
   for (const auto& cl : rt_->clusters()) {
     out << "| CLUSTER " << cl->cfg.number << "  (primary PE " << cl->cfg.primary_pe
-        << ", " << cl->cfg.slots << " user slots)\n";
+        << ", " << cl->cfg.slots << " user slots";
+    if (cl->cfg.place != config::PlacePolicy::primary) {
+      out << ", place " << config::place_policy_name(cl->cfg.place);
+    }
+    out << ")\n";
     for (std::size_t s = 0; s < cl->slots.size(); ++s) {
       const auto& rec = *cl->slots[s];
       out << "|   slot " << s << ": ";
@@ -294,6 +298,7 @@ void ExecutionEnvironment::display_organization(std::ostream& out) const {
         else out << "<not in use>";
       } else {
         out << rec.tasktype << " " << rec.id.str();
+        if (s >= rt::kFirstUserSlot) out << " @PE" << rec.pe;
         if (s == rt::kUserControllerSlot) out << " <-- terminal";
         if (s == rt::kFileControllerSlot) out << " <-- disk PE " << cl->disk_pe;
       }

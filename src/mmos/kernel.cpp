@@ -15,6 +15,7 @@ Proc& Kernel::create_process(std::string name, Proc::Body body) {
   p.sp_ = &engine().spawn("pe" + std::to_string(pe_) + ":" + p.name(),
                           [&p](sim::Process& sp) { p.body_wrapper(sp); });
   procs_.push_back(std::move(proc));
+  ++live_;
   make_ready(p);
   return p;
 }
@@ -52,20 +53,13 @@ void Kernel::remove(Proc& p) {
   p.cond_blocked_ = false;
   auto it = std::find(ready_.begin(), ready_.end(), &p);
   if (it != ready_.end()) ready_.erase(it);
+  --live_;
   release(p);
 }
 
 sim::Tick Kernel::slice_remaining() {
   if (slice_used_ >= costs().time_slice) slice_used_ = 0;  // fresh quantum
   return costs().time_slice - slice_used_;
-}
-
-std::size_t Kernel::live_count() const {
-  std::size_t n = 0;
-  for (const auto& p : procs_) {
-    if (!p->finished()) ++n;
-  }
-  return n;
 }
 
 // ---- Proc ----

@@ -31,10 +31,13 @@ class Kernel {
   /// (with process-creation cost charged to it) when first dispatched.
   Proc& create_process(std::string name, Proc::Body body);
 
-  // Scheduler introspection (the exec environment's "DISPLAY PE LOADING").
+  // Scheduler introspection (the exec environment's "DISPLAY PE LOADING"
+  // and the runtime's least-loaded task placement).
   [[nodiscard]] const Proc* current() const { return current_; }
   [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
-  [[nodiscard]] std::size_t live_count() const;
+  /// Unfinished processes on this PE. O(1): maintained at process create
+  /// and finish, so per-task placement never rescans the process table.
+  [[nodiscard]] std::size_t live_count() const { return live_; }
   [[nodiscard]] std::uint64_t dispatches() const { return dispatches_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Proc>>& procs() const {
     return procs_;
@@ -73,6 +76,7 @@ class Kernel {
   flex::Machine* machine_;
   int pe_;
   std::deque<Proc*> ready_;
+  std::size_t live_ = 0;
   Proc* current_ = nullptr;
   sim::Tick slice_used_ = 0;
   sim::Tick busy_ticks_ = 0;

@@ -184,5 +184,44 @@ TEST(Menu, EditExistingConfiguration) {
   EXPECT_TRUE(menu.current().trace.get(trace::EventKind::msg_send));
 }
 
+TEST(Persistence, PlacePolicyRoundTripsAndDefaultStaysImplicit) {
+  auto cfg = Configuration::simple(2);
+  cfg.clusters[0].secondary_pes = {5, 6};
+  cfg.clusters[0].place = PlacePolicy::least_loaded;
+  std::stringstream ss;
+  cfg.save(ss);
+  // The default policy is not written, so pre-placement readers (and the
+  // seed's saved configurations) stay byte-compatible.
+  EXPECT_EQ(ss.str().find("place primary"), std::string::npos);
+  EXPECT_NE(ss.str().find("place least-loaded"), std::string::npos);
+  Configuration back = Configuration::load(ss);
+  ASSERT_EQ(back.clusters.size(), 2u);
+  EXPECT_EQ(back.clusters[0].place, PlacePolicy::least_loaded);
+  EXPECT_EQ(back.clusters[1].place, PlacePolicy::primary);
+  EXPECT_TRUE(back.validate(nasa_spec()).empty());
+}
+
+TEST(Persistence, LoadRejectsUnknownPlacePolicy) {
+  std::stringstream ss(
+      "pisces-config v1\n"
+      "cluster 1 primary 3 slots 4 terminal 1 place everywhere secondaries\n"
+      "end\n");
+  EXPECT_THROW(Configuration::load(ss), std::runtime_error);
+}
+
+TEST(Menu, PlaceCommandSetsThePolicy) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  menu.apply("cluster 1", out);
+  menu.apply("place 1 least-loaded", out);
+  EXPECT_EQ(menu.current().find_cluster(1)->place, PlacePolicy::least_loaded);
+  menu.apply("place 1 round-robin", out);
+  EXPECT_EQ(menu.current().find_cluster(1)->place, PlacePolicy::round_robin);
+  // A bad policy name is reported and leaves the setting untouched.
+  menu.apply("place 1 bogus", out);
+  EXPECT_EQ(menu.current().find_cluster(1)->place, PlacePolicy::round_robin);
+  EXPECT_NE(out.str().find("unknown placement policy"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pisces::config

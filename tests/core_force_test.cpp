@@ -352,5 +352,66 @@ TEST(Force, MoreMembersFinishSoonerOnParallelWork) {
   EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t4), 3.0);
 }
 
+// Regression: release handed the lock to waiters_.front() even if that proc
+// had been killed while queued, leaving the lock owned by a dead proc and
+// every later acquirer blocked forever. Dead waiters must be skipped, the
+// same way heap_release skips finished heap waiters. The bounded virtual
+// horizon is the watchdog: a deadlock leaves c_got false at the deadline.
+TEST(Lock, ReleaseSkipsWaitersKilledWhileQueued) {
+  Fixture f(force_config(0));
+  LockVar lk(*f.rt, "L");
+  TaskRecord rec;
+  bool a_done = false;
+  bool b_got = false;
+  bool c_got = false;
+  f.sys.kernel(3).create_process("A", [&](mmos::Proc& p) {
+    lk.acquire(p, rec);
+    p.compute(20'000);  // hold the lock while B and C queue up
+    lk.release(p, rec);
+    a_done = true;
+  });
+  mmos::Proc& b = f.sys.kernel(4).create_process("B", [&](mmos::Proc& p) {
+    p.compute(2'000);
+    lk.acquire(p, rec);  // killed while waiting here
+    b_got = true;
+    lk.release(p, rec);
+  });
+  f.sys.kernel(5).create_process("C", [&](mmos::Proc& p) {
+    p.compute(4'000);
+    lk.acquire(p, rec);
+    c_got = true;
+    lk.release(p, rec);
+  });
+  f.eng.schedule(10'000, [&b] { b.kill(); });  // mid-CRITICAL wait
+  f.eng.run_until(5'000'000);
+  EXPECT_TRUE(a_done);
+  EXPECT_FALSE(b_got);
+  EXPECT_TRUE(c_got);
+  EXPECT_FALSE(lk.locked());
+}
+
+// Killing a whole task while force members are queued on a CRITICAL lock
+// must unwind everything — members reaped, lock registry cleared, slot
+// freed — without a hang.
+TEST(Lock, KillTaskMidCriticalUnwindsCleanly) {
+  Fixture f(force_config(2));
+  TaskId id;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    id = ctx.self();
+    f->engine().schedule(f->engine().now() + 50'000, [&f, &id] {
+      f->kill_task(id);
+    });
+    ctx.forcesplit([&](ForceContext& fc) {
+      fc.critical(fc.lock_var("L"), [&fc] { fc.compute(400'000); });
+    });
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  ASSERT_FALSE(f->timed_out());
+  EXPECT_EQ(f->stats().tasks_killed, 1u);
+  EXPECT_EQ(f->cluster(1).slot(kFirstUserSlot).state, TaskState::free_slot);
+}
+
 }  // namespace
 }  // namespace pisces::rt

@@ -672,5 +672,55 @@ TEST(Heap, ManyBlockedSendersAllComplete) {
   EXPECT_FALSE(f->timed_out());
 }
 
+// Regression: broadcast iterated the live slot table while each post may
+// block on a full message heap. A slot recycled during such a block received
+// the copy meant for its predecessor — a task created mid-broadcast was hit
+// by a broadcast from before it existed. Targets must be snapshotted at
+// broadcast start; targets dead by send time are dead letters.
+TEST(Broadcast, TargetsAreSnapshottedBeforeBlockingSends) {
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.clusters[0].slots = 3;       // main, parker, victim; fresh waits
+  cfg.message_heap_bytes = 4096;   // one filler message fills the heap
+  Fixture f(cfg);
+  int fresh_got = 0;
+  int delivered = -1;
+  f->register_tasktype("parker", [&](TaskContext& ctx) {
+    // Hold the filler in-queue (heap full) until long after the victim's
+    // slot has been recycled, then drain it and accept the broadcast.
+    ctx.compute(600'000);
+    ctx.accept(AcceptSpec{}.of("fill").forever());
+    ctx.accept(AcceptSpec{}.of("go").forever());
+  });
+  f->register_tasktype("victim", [&](TaskContext& ctx) {
+    ctx.compute(100'000);  // exits while the broadcaster is heap-blocked
+  });
+  f->register_tasktype("fresh", [&](TaskContext& ctx) {
+    auto res = ctx.accept(AcceptSpec{}.of("go").delay_for(2'000'000));
+    fresh_got = res.count("go");
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Same(), "parker");  // slot 4
+    ctx.initiate(Where::Same(), "victim");  // slot 5
+    ctx.initiate(Where::Same(), "fresh");   // held until a slot frees
+    ctx.compute(20'000);                    // let parker and victim start
+    // Fill the heap, then broadcast: the first copy blocks on heap space
+    // while the victim exits and "fresh" is started into its slot.
+    ctx.send(Dest::To(f->cluster(1).slot(4).id), "fill",
+             {Value(std::vector<double>(420, 1.0))});
+    delivered = ctx.broadcast("go", {Value(std::vector<double>(100, 2.0))});
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  ASSERT_FALSE(f->timed_out());
+  EXPECT_GT(f->stats().heap_full_waits, 0u);  // the broadcast did block
+  // The broadcast saw parker and victim; the victim died waiting for heap
+  // space, so exactly one copy lands and one dead letter is counted. The
+  // task recycled into the victim's slot must NOT receive a copy.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(fresh_got, 0);
+  EXPECT_GE(f->stats().dead_letters, 1u);
+}
+
 }  // namespace
 }  // namespace pisces::rt

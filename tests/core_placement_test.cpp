@@ -1,0 +1,186 @@
+// Tests of the per-cluster task placement policy: `primary` keeps every
+// user task on the cluster's primary PE (the paper's behaviour, and the
+// default), `least-loaded` and `round-robin` spread tasks across the
+// primary and the secondary PEs fixed at configuration time.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace pisces::rt {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(config::Configuration cfg = config::Configuration::simple(1)) {
+    rt = std::make_unique<Runtime>(sys, std::move(cfg));
+  }
+  Runtime* operator->() { return rt.get(); }
+};
+
+/// One terminal cluster on PE 3 with secondaries {4, 5} and room for the
+/// initiating task plus six workers.
+config::Configuration spread_config(config::PlacePolicy place) {
+  config::Configuration cfg = config::Configuration::simple(1, /*slots=*/8);
+  cfg.clusters[0].secondary_pes = {4, 5};
+  cfg.clusters[0].place = place;
+  return cfg;
+}
+
+/// Start six long-lived workers and record which PE each one's process runs
+/// on, indexed by the worker's INITIATE argument.
+std::map<int, int> run_workers(Fixture& f) {
+  std::map<int, int> pe_of;
+  f->register_tasktype("worker", [&](TaskContext& ctx) {
+    pe_of[static_cast<int>(ctx.args().at(0).as_int())] = ctx.proc().pe();
+    // Stay alive long enough that every later placement sees this load.
+    ctx.compute(500'000);
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int i = 0; i < 6; ++i) {
+      ctx.initiate(Where::Same(), "worker", {Value(i)});
+    }
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_FALSE(f->timed_out());
+  EXPECT_EQ(pe_of.size(), 6u);
+  return pe_of;
+}
+
+TEST(Placement, LeastLoadedSpreadsWorkersOverPrimaryAndSecondaries) {
+  Fixture f(spread_config(config::PlacePolicy::least_loaded));
+  std::map<int, int> pe_of = run_workers(f);
+  std::map<int, int> count;
+  for (const auto& [i, pe] : pe_of) {
+    EXPECT_TRUE(pe == 3 || pe == 4 || pe == 5) << "worker " << i << " on PE " << pe;
+    ++count[pe];
+  }
+  // Every PE of the cluster carries some of the load, and none of them
+  // hoards it: with six concurrent workers over three PEs, a balanced
+  // placement puts at most half of them on any one PE.
+  EXPECT_EQ(count.size(), 3u);
+  for (const auto& [pe, n] : count) {
+    EXPECT_LE(n, 3) << "PE " << pe << " got " << n << " of 6 workers";
+  }
+}
+
+TEST(Placement, RoundRobinCyclesThroughThePes) {
+  Fixture f(spread_config(config::PlacePolicy::round_robin));
+  std::map<int, int> pe_of = run_workers(f);
+  // The initiating task takes the first turn (the primary); the six workers
+  // then cycle 4, 5, 3, 4, 5, 3 in initiation order.
+  const std::vector<int> expect{4, 5, 3, 4, 5, 3};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(pe_of.at(i), expect[static_cast<std::size_t>(i)]) << "worker " << i;
+  }
+}
+
+TEST(Placement, PrimaryPolicyKeepsEveryTaskOnThePrimaryPe) {
+  Fixture f(spread_config(config::PlacePolicy::primary));
+  std::map<int, int> pe_of = run_workers(f);
+  for (const auto& [i, pe] : pe_of) {
+    EXPECT_EQ(pe, 3) << "worker " << i;
+  }
+}
+
+/// A small message-and-compute workload used to compare schedules tick for
+/// tick: three children compute different amounts and report back.
+void run_pipeline(Fixture& f, sim::Tick& finished_at, RuntimeStats& stats_out) {
+  f->register_tasktype("child", [&](TaskContext& ctx) {
+    ctx.compute(10'000 * (1 + ctx.args().at(0).as_int()));
+    ctx.send(Dest::Parent(), "done", {ctx.args().at(0)});
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int i = 0; i < 3; ++i) ctx.initiate(Where::Same(), "child", {Value(i)});
+    ctx.accept(AcceptSpec{}.of("done", 3).forever());
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  finished_at = f->run();
+  EXPECT_FALSE(f->timed_out());
+  stats_out = f->stats();
+}
+
+TEST(Placement, DefaultPolicyIgnoresSecondariesTickForTick) {
+  // The same workload on (a) a cluster with secondaries under the default
+  // `primary` policy and (b) a cluster with no secondaries at all must
+  // produce identical schedules: adding secondary PEs (they exist for
+  // forces) must not perturb anything until a spreading policy is chosen.
+  sim::Tick with_secondaries = 0;
+  sim::Tick without_secondaries = 0;
+  RuntimeStats stats_a, stats_b;
+  {
+    Fixture f(spread_config(config::PlacePolicy::primary));
+    run_pipeline(f, with_secondaries, stats_a);
+  }
+  {
+    Fixture f(config::Configuration::simple(1, /*slots=*/8));
+    run_pipeline(f, without_secondaries, stats_b);
+  }
+  EXPECT_EQ(with_secondaries, without_secondaries);
+  EXPECT_EQ(stats_a.messages_sent, stats_b.messages_sent);
+  EXPECT_EQ(stats_a.tasks_finished, stats_b.tasks_finished);
+}
+
+/// Time one 64x64 window read of an array owned by a task in cluster 2,
+/// with cluster 2's placement policy chosen by the caller.
+sim::Tick time_window_read(config::PlacePolicy owner_place, int& owner_pe) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.clusters[1].secondary_pes = {5};
+  cfg.clusters[1].place = owner_place;
+  Fixture f(std::move(cfg));
+  sim::Tick read_ticks = 0;
+  f->register_tasktype("owner", [&](TaskContext& ctx) {
+    ctx.local_array("A", 64, 64);
+    owner_pe = ctx.proc().pe();
+    ctx.send(Dest::Parent(), "win", {Value(ctx.make_window("A"))});
+    ctx.accept(AcceptSpec{}.of("release").forever());
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    Window w;
+    ctx.on_message("win", [&w](TaskContext&, const Message& m) {
+      w = m.args.at(0).as_window();
+    });
+    ctx.initiate(Where::Cluster(2), "owner");
+    ctx.accept(AcceptSpec{}.of("win").forever());
+    const sim::Tick t0 = f->engine().now();
+    Matrix part = ctx.window_read(w);
+    read_ticks = f->engine().now() - t0;
+    EXPECT_EQ(part.rows(), 64);
+    ctx.send(Dest::To(w.owner), "release");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_FALSE(f->timed_out());
+  EXPECT_EQ(f->stats().window_reads, 1u);
+  return read_ticks;
+}
+
+TEST(Placement, CrossPeWindowReadCostsMoreThanSamePe) {
+  // Under `primary` the owner shares the controller's PE and the copy is a
+  // local-memory one; under `least-loaded` the owner lands on the idle
+  // secondary and the controller must pull the window across the bus.
+  int same_pe_owner = 0;
+  int cross_pe_owner = 0;
+  const sim::Tick same_pe = time_window_read(config::PlacePolicy::primary,
+                                             same_pe_owner);
+  const sim::Tick cross_pe = time_window_read(config::PlacePolicy::least_loaded,
+                                              cross_pe_owner);
+  EXPECT_EQ(same_pe_owner, 4);   // cluster 2's primary
+  EXPECT_EQ(cross_pe_owner, 5);  // the idle secondary
+  EXPECT_GT(cross_pe, same_pe);
+}
+
+}  // namespace
+}  // namespace pisces::rt

@@ -377,5 +377,111 @@ TEST(Window, RejectedWriteIsNotBilledForTheCopy) {
   EXPECT_LT(ctl.proc->cpu_ticks(), 5'000);
 }
 
+// Regression: the window service bound a reference to the owner's array and
+// THEN blocked in the copy charge. If the owner is killed during that charge,
+// finish_task frees the array storage and the copy read freed memory
+// (use-after-free, caught by the ASan preset). The service must re-validate
+// owner and array liveness after every blocking charge and reply _WINERR.
+TEST(Window, OwnerKilledDuringReadChargeGetsWinerrNotUseAfterFree) {
+  Fixture f;
+  bool got_error = false;
+  bool got_data = false;
+  TaskId owner_id;
+  f->register_tasktype("owner", [&](TaskContext& ctx) {
+    auto& arr = ctx.local_array("A", 256, 256);
+    arr.data.at(0, 0) = 42.0;
+    owner_id = ctx.self();
+    ctx.send(Dest::Parent(), "win", {Value(ctx.make_window("A"))});
+    ctx.accept(AcceptSpec{}.of("never").forever());
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    Window w;
+    ctx.on_message("win", [&w](TaskContext&, const Message& m) {
+      w = m.args.at(0).as_window();
+    });
+    ctx.initiate(Where::Cluster(2), "owner");
+    ctx.accept(AcceptSpec{}.of("win").forever());
+    // The 256x256 copy charge occupies the controller for ~65k ticks; land
+    // the kill well inside it, after the service has validated the request.
+    f->engine().schedule(f->engine().now() + 20'000,
+                         [&f, &owner_id] { f->kill_task(owner_id); });
+    try {
+      Matrix part = ctx.window_read(w);
+      got_data = part.rows() == 256;
+    } catch (const WindowError&) {
+      got_error = true;
+    }
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  EXPECT_TRUE(got_error);
+  EXPECT_FALSE(got_data);
+  EXPECT_EQ(f->stats().window_reads, 0u);
+}
+
+// Same hazard on the write path: the paste must not run against an array
+// whose owner died while the controller was being charged for the copy.
+// The write request's payload makes the requester-side transfer time dwarf
+// the kill delay used by the read test, so the kill tick is found by probe:
+// run the scenario once without a kill (the simulation is deterministic),
+// note when the write completes, and aim the second run's kill inside the
+// controller's 128x128 = 16384-tick copy charge that directly precedes it.
+namespace {
+struct WriteKillOutcome {
+  sim::Tick done = 0;
+  bool completed = false;
+  bool got_error = false;
+  std::uint64_t window_writes = 0;
+};
+
+WriteKillOutcome run_write_kill_scenario(sim::Tick kill_at) {
+  Fixture f;
+  WriteKillOutcome out;
+  TaskId owner_id;
+  f->register_tasktype("owner", [&](TaskContext& ctx) {
+    ctx.local_array("A", 128, 128);
+    owner_id = ctx.self();
+    ctx.send(Dest::Parent(), "win", {Value(ctx.make_window("A"))});
+    ctx.accept(AcceptSpec{}.of("never").forever());
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    Window w;
+    ctx.on_message("win", [&w](TaskContext&, const Message& m) {
+      w = m.args.at(0).as_window();
+    });
+    ctx.initiate(Where::Cluster(2), "owner");
+    ctx.accept(AcceptSpec{}.of("win").forever());
+    if (kill_at > 0) {
+      f->engine().schedule(kill_at, [&f, &owner_id] { f->kill_task(owner_id); });
+    }
+    try {
+      ctx.window_write(w, Matrix(128, 128, 1.0));
+      out.completed = true;
+    } catch (const WindowError&) {
+      out.got_error = true;
+    }
+    out.done = f->engine().now();
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  out.window_writes = f->stats().window_writes;
+  return out;
+}
+}  // namespace
+
+TEST(Window, OwnerKilledDuringWriteChargeGetsWinerrNotUseAfterFree) {
+  const WriteKillOutcome probe = run_write_kill_scenario(0);
+  ASSERT_TRUE(probe.completed);
+  ASSERT_GT(probe.done, 16'384);
+  // Halfway into the copy charge: after the service validated the request,
+  // well before the paste.
+  const WriteKillOutcome killed = run_write_kill_scenario(probe.done - 8'000);
+  EXPECT_TRUE(killed.got_error);
+  EXPECT_FALSE(killed.completed);
+  EXPECT_EQ(killed.window_writes, 0u);
+}
+
 }  // namespace
 }  // namespace pisces::rt
