@@ -1,20 +1,69 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+
+#if defined(__SANITIZE_THREAD__)
+#define PISCES_SIM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PISCES_SIM_TSAN 1
+#endif
+#endif
+#if !defined(PISCES_SIM_TSAN)
+#define PISCES_SIM_TSAN 0
+#endif
 
 namespace pisces::sim {
+
+Backend default_backend() {
+#if PISCES_SIM_TSAN
+  return Backend::threads;
+#else
+  if (const char* env = std::getenv("PISCES_SIM_THREADS")) {
+    return (env[0] != '\0' && env[0] != '0') ? Backend::threads
+                                             : Backend::fibers;
+  }
+#if defined(PISCES_SIM_DEFAULT_THREADS)
+  return Backend::threads;
+#else
+  return Backend::fibers;
+#endif
+#endif
+}
+
+namespace {
+
+Backend coerce_backend(Backend requested) {
+#if PISCES_SIM_TSAN
+  // TSan cannot see fiber context switches and would report false races on
+  // fiber stacks; force the thread backend regardless of the request.
+  (void)requested;
+  return Backend::threads;
+#else
+  return requested;
+#endif
+}
+
+}  // namespace
+
+Engine::Engine(Backend backend) : backend_(coerce_backend(backend)) {
+  if (backend_ == Backend::fibers) fiber::capture_host(host_ctx_);
+}
 
 Engine::~Engine() { shutdown_processes(); }
 
 void Engine::shutdown_processes() {
   shutting_down_ = true;
-  // Unwind every live process so its host thread can exit. Each run_slice
-  // hands the thread one turn: a never-started body sees the kill flag and
-  // returns; a blocked/runnable body throws ProcessKilled from its wait.
-  for (auto& p : processes_) {
-    while (p->state_ != Process::State::finished) {
-      p->kill_requested_ = true;
-      p->run_slice();
+  // Unwind every live process. Each run_slice hands the body one turn: a
+  // never-started body goes straight to finished; a blocked/runnable body
+  // throws ProcessKilled from its wait. Index loop: a destructor running
+  // inside an unwinding body may spawn (which appends to processes_).
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    Process& p = *processes_[i];
+    while (p.state_ != Process::State::finished) {
+      p.kill_requested_ = true;
+      p.run_slice();
     }
   }
 }
@@ -27,6 +76,7 @@ void Engine::schedule(Tick at, EventQueue::Action action) {
 Process& Engine::spawn(std::string name, Process::Body body) {
   processes_.push_back(std::unique_ptr<Process>(
       new Process(*this, next_process_id_++, std::move(name), std::move(body))));
+  ++live_count_;
   return *processes_.back();
 }
 
@@ -49,6 +99,11 @@ void Engine::kill(Process& p) {
   // A runnable or running process unwinds at its next blocking call.
 }
 
+void Engine::on_process_finished() {
+  --live_count_;
+  ++unreaped_finished_;
+}
+
 bool Engine::step() {
   if (queue_.empty()) return false;
   Tick at = 0;
@@ -56,6 +111,7 @@ bool Engine::step() {
   now_ = std::max(now_, at);
   ++events_fired_;
   action();
+  if (unreaped_finished_ >= kReapBatch) reap_finished();
   if (failure_) {
     std::exception_ptr e = failure_;
     failure_ = nullptr;
@@ -77,20 +133,27 @@ Tick Engine::run_until(Tick limit) {
   return now_;
 }
 
+void Engine::reap_finished() {
+  if (unreaped_finished_ == 0) return;
+  std::size_t dest = 0;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i]->state() == Process::State::finished) {
+      tombstones_.push_back(std::move(processes_[i]));
+    } else {
+      if (dest != i) processes_[dest] = std::move(processes_[i]);
+      ++dest;
+    }
+  }
+  processes_.resize(dest);
+  unreaped_finished_ = 0;
+}
+
 std::vector<const Process*> Engine::blocked_processes() const {
   std::vector<const Process*> out;
   for (const auto& p : processes_) {
     if (p->state() == Process::State::blocked) out.push_back(p.get());
   }
   return out;
-}
-
-std::size_t Engine::live_process_count() const {
-  std::size_t n = 0;
-  for (const auto& p : processes_) {
-    if (p->state() != Process::State::finished) ++n;
-  }
-  return n;
 }
 
 }  // namespace pisces::sim

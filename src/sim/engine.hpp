@@ -7,10 +7,30 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
 
 namespace pisces::sim {
+
+/// Execution substrate for process bodies. `fibers` runs every body as a
+/// user-level fiber on the engine's host thread (direct context swaps, no
+/// syscalls); `threads` gives each body a dedicated OS thread with a
+/// mutex/condvar handshake. Both honour the same determinism contract and
+/// produce tick-identical simulations.
+enum class Backend {
+  fibers,
+  threads,
+};
+
+/// The backend a default-constructed Engine uses:
+///  - ThreadSanitizer builds always get `threads` (TSan cannot track fiber
+///    context switches and reports false races on fiber stacks).
+///  - Otherwise the PISCES_SIM_THREADS environment variable decides when
+///    set ("1"/non-empty → threads, "0"/"" → fibers).
+///  - Otherwise the compile-time default: fibers, or threads when built
+///    with -DPISCES_SIM_DEFAULT_THREADS (CMake option PISCES_SIM_THREADS).
+[[nodiscard]] Backend default_backend();
 
 /// Discrete-event simulation engine: a virtual clock, a time-ordered event
 /// queue, and a set of cooperative processes. This is the substrate on which
@@ -19,14 +39,17 @@ namespace pisces::sim {
 /// Determinism contract: events at equal ticks fire in schedule order; only
 /// one process body runs at a time; virtual time advances only between
 /// events. Given the same inputs, a simulation always produces the same
-/// trace.
+/// trace — on either backend.
+///
+/// An Engine and all its processes run on the thread that constructed it.
 class Engine {
  public:
-  Engine() = default;
+  explicit Engine(Backend backend = default_backend());
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  [[nodiscard]] Backend backend() const { return backend_; }
   [[nodiscard]] Tick now() const { return now_; }
 
   /// Schedule `action` to run at absolute tick `at` (>= now).
@@ -38,7 +61,8 @@ class Engine {
 
   /// Create a process. The body does not start running until wake() is
   /// called on it. The returned reference stays valid for the Engine's
-  /// lifetime.
+  /// lifetime (finished processes are reaped down to a tombstone, but the
+  /// object itself is never destroyed early).
   Process& spawn(std::string name, Process::Body body);
 
   /// Wake a blocked (or not-yet-started) process at the current tick.
@@ -63,16 +87,28 @@ class Engine {
   [[nodiscard]] std::vector<const Process*> blocked_processes() const;
 
   /// Force-unwind every live process (their blocking calls throw
-  /// ProcessKilled) and join the host threads. Called automatically by the
-  /// destructor; call it earlier when higher-level objects referenced by
-  /// process bodies are destroyed before the Engine. Idempotent. After
+  /// ProcessKilled) and release their stacks/threads. Called automatically
+  /// by the destructor; call it earlier when higher-level objects referenced
+  /// by process bodies are destroyed before the Engine. Idempotent. After
   /// shutdown, schedule() becomes a no-op and exit callbacks do not run.
   void shutdown_processes();
+
+  /// Move finished processes out of the live set so scans stay proportional
+  /// to live processes. Their heavy state (stack/thread, body storage) was
+  /// already released when the body finished; what remains is a small
+  /// tombstone kept alive so references returned by spawn() stay valid.
+  /// Runs automatically every few hundred finishes during run(); public so
+  /// long-lived sessions with dynamic task churn can force it at a barrier.
+  void reap_finished();
 
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
   /// Events still queued (0 after run() unless run_until stopped early).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
-  [[nodiscard]] std::size_t live_process_count() const;
+  [[nodiscard]] std::size_t live_process_count() const { return live_count_; }
+  /// Finished processes already moved to the tombstone list.
+  [[nodiscard]] std::size_t reaped_process_count() const {
+    return tombstones_.size();
+  }
 
  private:
   friend class Process;
@@ -80,13 +116,24 @@ class Engine {
   /// Called from a process body that threw (other than ProcessKilled): the
   /// exception is stashed and rethrown from the run loop.
   void note_failure(std::exception_ptr e) { failure_ = std::move(e); }
+  /// Bookkeeping when a body finishes (any backend, any path).
+  void on_process_finished();
+  /// Instantiate the configured backend for a process about to start.
+  std::unique_ptr<detail::ProcessBackend> make_backend(Process& p);
 
-  void reap_finished();
+  /// Batch size for automatic reaping: big enough that the move is
+  /// amortized, small enough that churny sessions stay flat.
+  static constexpr std::size_t kReapBatch = 256;
 
+  Backend backend_;
+  fiber::Context host_ctx_;  ///< the engine loop's own context (fiber backend)
   Tick now_ = 0;
   bool shutting_down_ = false;
   EventQueue queue_;
-  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Process>> processes_;   ///< live + not yet reaped
+  std::vector<std::unique_ptr<Process>> tombstones_;  ///< finished, reaped
+  std::size_t live_count_ = 0;
+  std::size_t unreaped_finished_ = 0;
   std::uint64_t next_process_id_ = 1;
   std::uint64_t events_fired_ = 0;
   std::exception_ptr failure_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -13,29 +14,56 @@ namespace pisces::sim {
 /// Time-ordered queue of simulation events. Events at the same tick fire in
 /// insertion order (a stable tiebreak is essential for determinism).
 ///
-/// Implemented as an explicit binary heap (std::push_heap/std::pop_heap on
-/// a std::vector) rather than std::priority_queue: pop() moves the action
-/// out of the popped element directly, with no const_cast of top() needed.
+/// Two stores back the queue:
+///  - A binary heap (std::push_heap/std::pop_heap on a std::vector) for
+///    events at future ticks. An explicit heap rather than
+///    std::priority_queue: pop() moves the action out of the popped element
+///    directly, with no const_cast of top() needed.
+///  - A FIFO fast path for events scheduled *at the tick currently being
+///    processed* — the dominant wake/resume pattern, where a process is
+///    rescheduled at `now` once per handoff. These skip the O(log n)
+///    push_heap/pop_heap churn entirely.
+///
+/// Ordering stays exact: every event carries a global sequence number and
+/// pop() always removes the (tick, seq)-minimum of both stores. The FIFO
+/// only ever holds events for a single tick (the one last popped); if the
+/// clock moves past them — only possible when a caller pushes a tick below
+/// the current one, which the Engine never does — they are spilled back
+/// into the heap before the tick advances.
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
   void push(Tick at, Action action) {
+    if (has_current_ && at == current_tick_) {
+      fifo_.push_back(Event{at, next_seq_++, std::move(action)});
+      return;
+    }
     heap_.push_back(Event{at, next_seq_++, std::move(action)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty() && fifo_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size() + fifo_.size(); }
 
   /// Tick of the earliest pending event. Queue must be non-empty.
-  [[nodiscard]] Tick next_tick() const { return heap_.front().at; }
+  [[nodiscard]] Tick next_tick() const {
+    if (fifo_.empty()) return heap_.front().at;
+    if (heap_.empty()) return fifo_.front().at;
+    return std::min(heap_.front().at, fifo_.front().at);
+  }
 
   /// Remove and return the earliest event's action. Queue must be non-empty.
   Action pop(Tick* at = nullptr) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event event = std::move(heap_.back());
-    heap_.pop_back();
+    Event event = pop_min();
+    if (!has_current_ || event.at != current_tick_) {
+      // The clock is moving: any fast-path leftovers belong to an older
+      // tick (possible only with out-of-order pushes) — return them to the
+      // heap so future pops still see the exact (tick, seq) order.
+      spill_fifo();
+      current_tick_ = event.at;
+      has_current_ = true;
+    }
     if (at != nullptr) *at = event.at;
     return std::move(event.action);
   }
@@ -53,7 +81,40 @@ class EventQueue {
     }
   };
 
+  Event pop_min() {
+    bool from_fifo;
+    if (fifo_.empty()) {
+      from_fifo = false;
+    } else if (heap_.empty()) {
+      from_fifo = true;
+    } else {
+      const Event& f = fifo_.front();
+      const Event& h = heap_.front();
+      from_fifo = f.at < h.at || (f.at == h.at && f.seq < h.seq);
+    }
+    if (from_fifo) {
+      Event event = std::move(fifo_.front());
+      fifo_.pop_front();
+      return event;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
+    return event;
+  }
+
+  void spill_fifo() {
+    while (!fifo_.empty()) {
+      heap_.push_back(std::move(fifo_.front()));
+      fifo_.pop_front();
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+  }
+
   std::vector<Event> heap_;
+  std::deque<Event> fifo_;  ///< events at current_tick_, in seq order
+  Tick current_tick_ = 0;
+  bool has_current_ = false;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,17 +1,43 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
 
 #include "sim/time.hpp"
 
 namespace pisces::sim {
 
 class Engine;
+class Process;
+
+namespace detail {
+
+/// Execution substrate behind one Process: the thing that owns a suspendable
+/// stack for the body and can transfer control between it and the engine
+/// loop. Two implementations exist (see engine.hpp's Backend):
+///  - FiberBackend: a user-level fiber; resume/suspend are direct context
+///    swaps on the engine's host thread (~tens of ns).
+///  - ThreadBackend: a dedicated OS thread with a mutex/condvar turn
+///    handshake (two futex round-trips per handoff); kept for differential
+///    testing and for ThreadSanitizer, which cannot see fiber switches.
+class ProcessBackend {
+ public:
+  virtual ~ProcessBackend() = default;
+  /// Engine side: transfer control into the body (starting it on first
+  /// call); returns when the body suspends or finishes.
+  virtual void resume() = 0;
+  /// Body side: transfer control back to the engine loop.
+  virtual void suspend() = 0;
+
+ protected:
+  /// Runs the process's body wrapper on the backend's stack (backends are
+  /// not friends of Process; this is their one entry point into it).
+  static void run_body(Process& p);
+};
+
+}  // namespace detail
 
 /// Thrown out of a blocking call when the process has been killed; the body
 /// wrapper catches it to unwind the process's stack. User code must never
@@ -20,11 +46,14 @@ struct ProcessKilled {};
 
 /// A cooperatively scheduled simulated process.
 ///
-/// Each Process is backed by a host thread, but the Engine enforces a strict
-/// one-runnable-at-a-time handshake: at any instant either the engine loop or
-/// exactly one process body is executing. Virtual time only advances in the
-/// engine loop, so process bodies see a consistent `engine().now()` and the
-/// whole simulation is deterministic regardless of host scheduling.
+/// The Engine enforces a strict one-runnable-at-a-time handshake: at any
+/// instant either the engine loop or exactly one process body is executing.
+/// Virtual time only advances in the engine loop, so process bodies see a
+/// consistent `engine().now()` and the whole simulation is deterministic
+/// regardless of the backing substrate (fibers or host threads).
+///
+/// Stacks are lazy: no fiber stack (or thread) exists until the first time
+/// the body actually runs, and it is released as soon as the body finishes.
 class Process {
  public:
   using Body = std::function<void(Process&)>;
@@ -33,7 +62,7 @@ class Process {
     created,   ///< spawned, body not yet started
     blocked,   ///< waiting for a wake or timeout
     runnable,  ///< resume event scheduled but not yet fired
-    running,   ///< body currently executing on its thread
+    running,   ///< body currently executing
     finished,  ///< body returned or process killed
   };
 
@@ -62,18 +91,24 @@ class Process {
 
  private:
   friend class Engine;
+  friend class detail::ProcessBackend;
 
   Process(Engine& engine, std::uint64_t id, std::string name, Body body);
 
-  void thread_main();
-  /// Engine side: hand control to the process thread; returns when the
-  /// process blocks, yields, or finishes.
+  /// Runs the body with the kill/failure wrapper; executed on the backend's
+  /// stack. Marks the process finished when the body unwinds.
+  void body_main();
+  /// Engine side: hand control to the body; returns when the process
+  /// blocks, yields, or finishes. Creates the backend on first use and
+  /// releases it (stack freed / thread joined) once the body has finished.
   void run_slice();
   /// Process side: hand control back to the engine loop.
   void switch_to_engine();
   /// Schedule a resume event for a blocked process. `timeout` distinguishes
   /// a deadline expiry from an explicit wake.
   void schedule_resume(Tick at, bool timeout, std::uint64_t epoch);
+  /// Mark finished and release per-process resources kept for the body.
+  void finish();
 
   Engine& engine_;
   const std::uint64_t id_;
@@ -81,17 +116,11 @@ class Process {
   Body body_;
   State state_ = State::created;
 
-  // Handshake: whose turn it is to run. Guarded by mutex_.
-  enum class Turn { engine, process };
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  Turn turn_ = Turn::engine;
-  bool thread_started_ = false;
+  std::unique_ptr<detail::ProcessBackend> backend_;  ///< null until started
 
-  std::uint64_t wait_epoch_ = 0;   ///< invalidates stale resume events
-  bool timed_out_ = false;         ///< result of the last wait_until
+  std::uint64_t wait_epoch_ = 0;  ///< invalidates stale resume events
+  bool timed_out_ = false;        ///< result of the last wait_until
   bool kill_requested_ = false;
-  std::thread thread_;
 };
 
 }  // namespace pisces::sim

@@ -287,6 +287,250 @@ TEST(EventQueue, PopPushInterleavingKeepsSameTickStable) {
   EXPECT_EQ(order, want);
 }
 
+// Out-of-order pushes (a tick below the one currently being processed) force
+// the same-tick FIFO to spill back into the heap; order must stay exact
+// (tick first, then insertion sequence). The Engine never does this — it
+// clamps to now — but the queue must not silently misorder if misused.
+TEST(EventQueue, OutOfOrderPushAfterPopStaysTimeOrdered) {
+  EventQueue q;
+  std::vector<int> order;
+  auto rec = [&order](int i) { return [&order, i] { order.push_back(i); }; };
+  q.push(10, rec(0));
+  q.push(10, rec(1));
+  q.pop()();          // fires 0; tick 10 becomes current
+  q.push(10, rec(2)); // same-tick fast path
+  q.push(3, rec(3));  // below current tick: heap
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+}
+
+TEST(EventQueue, SameTickFastPathReportsSizeAndNextTick) {
+  EventQueue q;
+  q.push(5, [] {});
+  q.push(5, [] {});
+  Tick at = 0;
+  q.pop(&at)();
+  EXPECT_EQ(at, 5);
+  q.push(5, [] {});  // lands in the FIFO
+  q.push(9, [] {});  // lands in the heap
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_tick(), 5);
+  q.pop(&at)();
+  EXPECT_EQ(at, 5);
+  q.pop(&at)();
+  EXPECT_EQ(at, 5);
+  EXPECT_EQ(q.next_tick(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Process lifecycle on both scheduling substrates. The fiber and thread
+// backends must be observationally identical; every scenario here runs on
+// each. (Under ThreadSanitizer both instances use the thread backend — see
+// default_backend() — so the suite still passes, just with less diversity.)
+// ---------------------------------------------------------------------------
+
+class BackendTest : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendTest,
+    ::testing::Values(Backend::fibers, Backend::threads),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      return info.param == Backend::fibers ? "fibers" : "threads";
+    });
+
+TEST_P(BackendTest, KillBeforeStartSkipsBodyAndAllocatesNothing) {
+  Engine eng(GetParam());
+  bool ran = false;
+  Process& p = eng.spawn("t", [&](Process&) { ran = true; });
+  eng.schedule(0, [&] { eng.kill(p); });
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(p.state(), Process::State::finished);
+  EXPECT_EQ(eng.live_process_count(), 0u);
+}
+
+TEST_P(BackendTest, KillDuringTimedWaitUnwindsWithCleanup) {
+  Engine eng(GetParam());
+  bool after_wait = false;
+  bool cleanup_ran = false;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    struct Guard {
+      bool* flag;
+      ~Guard() { *flag = true; }
+    } g{&cleanup_ran};
+    (void)self.wait_until(eng.now() + 100);
+    after_wait = true;
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.schedule(50, [&] { eng.kill(p); });
+  eng.run();
+  EXPECT_FALSE(after_wait);
+  EXPECT_TRUE(cleanup_ran);
+  EXPECT_EQ(p.state(), Process::State::finished);
+  // The stale deadline event at 100 still fires as a no-op.
+  EXPECT_EQ(eng.now(), 100);
+}
+
+TEST_P(BackendTest, StaleTimeoutFromEarlierWaitIsIgnored) {
+  Engine eng(GetParam());
+  std::vector<bool> results;
+  Process& p = eng.spawn("t", [&](Process& self) {
+    results.push_back(self.wait_until(200));  // woken at 50
+    results.push_back(self.wait_until(150));  // times out at 150
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.schedule(50, [&] { eng.wake(p); });
+  eng.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0]);
+  EXPECT_TRUE(results[1]);
+}
+
+TEST_P(BackendTest, StaleResumeAfterProcessFinishedIsIgnored) {
+  Engine eng(GetParam());
+  Process& p = eng.spawn("t", [&](Process& self) {
+    (void)self.wait_until(eng.now() + 500);  // woken long before the deadline
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  eng.schedule(10, [&] { eng.wake(p); });
+  eng.run();  // deadline event at 500 fires after the process finished
+  EXPECT_EQ(p.state(), Process::State::finished);
+  EXPECT_EQ(eng.now(), 500);
+}
+
+TEST_P(BackendTest, BodyExceptionPropagatesToRun) {
+  Engine eng(GetParam());
+  Process& p = eng.spawn("t", [&](Process&) {
+    throw std::runtime_error("boom");
+  });
+  eng.schedule(0, [&] { eng.wake(p); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+  EXPECT_EQ(p.state(), Process::State::finished);
+}
+
+TEST_P(BackendTest, ShutdownProcessesIsIdempotent) {
+  Engine eng(GetParam());
+  int cleanups = 0;
+  struct Guard {
+    int* n;
+    ~Guard() { ++*n; }
+  };
+  for (int i = 0; i < 3; ++i) {
+    Process& p = eng.spawn("t", [&cleanups](Process& self) {
+      Guard g{&cleanups};
+      self.wait();
+    });
+    eng.schedule(0, [&eng, &p] { eng.wake(p); });
+  }
+  eng.run();
+  EXPECT_EQ(eng.live_process_count(), 3u);
+  eng.shutdown_processes();
+  EXPECT_EQ(cleanups, 3);
+  EXPECT_EQ(eng.live_process_count(), 0u);
+  eng.shutdown_processes();  // second call: nothing left to unwind
+  EXPECT_EQ(cleanups, 3);
+}
+
+TEST_P(BackendTest, NestedSpawnAndChurnStaysDeterministic) {
+  Engine eng(GetParam());
+  std::vector<std::string> log;
+  Process& parent = eng.spawn("parent", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      Process& child =
+          eng.spawn("c" + std::to_string(i), [&log, i, &eng](Process& c) {
+            log.push_back("c" + std::to_string(i) + "@" +
+                          std::to_string(eng.now()));
+            c.sleep_until(eng.now() + 5);
+          });
+      eng.wake(child);
+      self.sleep_until(eng.now() + 10);
+    }
+  });
+  eng.schedule(0, [&] { eng.wake(parent); });
+  eng.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"c0@0", "c1@10", "c2@20"}));
+}
+
+// The two backends must produce bit-identical simulations: same final tick,
+// same event count, same interleaving.
+TEST(Backend, TickTrajectoriesIdenticalAcrossBackends) {
+  auto simulate = [](Backend backend) {
+    Engine eng(backend);
+    std::string log;
+    for (int i = 0; i < 10; ++i) {
+      Process& p =
+          eng.spawn("p" + std::to_string(i), [&eng, &log, i](Process& self) {
+            for (int k = 0; k < 4; ++k) {
+              log += static_cast<char>('a' + i);
+              self.sleep_until(eng.now() + 3 + i);
+            }
+          });
+      eng.schedule(i % 4, [&eng, &p] { eng.wake(p); });
+    }
+    const Tick final_tick = eng.run();
+    return std::tuple(final_tick, eng.events_fired(), log);
+  };
+  EXPECT_EQ(simulate(Backend::fibers), simulate(Backend::threads));
+}
+
+// ---------------------------------------------------------------------------
+// Reaping: finished processes shed their heavy state but stay addressable.
+// ---------------------------------------------------------------------------
+
+TEST_P(BackendTest, ReapFinishedKeepsReferencesValid) {
+  Engine eng(GetParam());
+  std::vector<Process*> procs;
+  for (int i = 0; i < 5; ++i) {
+    Process& p = eng.spawn("r" + std::to_string(i), [](Process&) {});
+    eng.schedule(0, [&eng, &p] { eng.wake(p); });
+    procs.push_back(&p);
+  }
+  eng.run();
+  EXPECT_EQ(eng.live_process_count(), 0u);
+  eng.reap_finished();
+  EXPECT_EQ(eng.reaped_process_count(), 5u);
+  // The documented contract: references returned by spawn() stay valid for
+  // the Engine's lifetime, reaped or not.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(procs[static_cast<std::size_t>(i)]->state(),
+              Process::State::finished);
+    EXPECT_EQ(procs[static_cast<std::size_t>(i)]->name(),
+              "r" + std::to_string(i));
+  }
+}
+
+TEST_P(BackendTest, ReapLeavesLiveProcessesScannable) {
+  Engine eng(GetParam());
+  Process& stuck = eng.spawn("stuck", [](Process& self) { self.wait(); });
+  eng.schedule(0, [&] { eng.wake(stuck); });
+  for (int i = 0; i < 4; ++i) {
+    Process& p = eng.spawn("done", [](Process&) {});
+    eng.schedule(0, [&eng, &p] { eng.wake(p); });
+  }
+  eng.run();
+  eng.reap_finished();
+  EXPECT_EQ(eng.reaped_process_count(), 4u);
+  auto blocked = eng.blocked_processes();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0]->name(), "stuck");
+  EXPECT_EQ(eng.live_process_count(), 1u);
+}
+
+TEST(Engine, LongChurnSessionsReapAutomatically) {
+  // Dynamic task churn well past the reap batch: the live list must not
+  // grow without bound (this is what bounded long sessions before).
+  Engine eng;
+  for (int i = 0; i < 700; ++i) {
+    Process& p = eng.spawn("w" + std::to_string(i), [&eng](Process& self) {
+      self.sleep_until(eng.now() + 1);
+    });
+    eng.schedule(i, [&eng, &p] { eng.wake(p); });
+  }
+  eng.run();
+  EXPECT_EQ(eng.live_process_count(), 0u);
+  EXPECT_GT(eng.reaped_process_count(), 0u);  // automatic reap kicked in
+}
+
 TEST(Engine, LiveProcessCountDropsAsBodiesFinish) {
   Engine eng;
   Process& p1 = eng.spawn("a", [](Process&) {});
