@@ -227,6 +227,68 @@ void placement_table(JsonReport& report) {
        "least-loaded uses all four PEs of the cluster.");
 }
 
+/// One-way ping-pong latency with a FaultPlan armed. Delay-only faults keep
+/// delivery guaranteed (loss would wedge the forever-accepts), so the same
+/// workload runs under every plan.
+sim::Tick faulty_latency(const flex::FaultPlan& plan, int payload_doubles,
+                         int rounds = 32) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.faults = plan;
+  Sim sim(cfg);
+  sim::Tick total = 0;
+  sim.rt().register_tasktype("echo", [&](rt::TaskContext& ctx) {
+    ctx.send(rt::Dest::Parent(), "ready");
+    for (int i = 0; i < rounds; ++i) {
+      ctx.accept(rt::AcceptSpec{}.of("ping").forever());
+      ctx.send(rt::Dest::Sender(), "pong",
+               {rt::Value(std::vector<double>(
+                   static_cast<std::size_t>(payload_doubles), 1.0))});
+    }
+  });
+  run_main(sim, [&](rt::TaskContext& ctx) {
+    ctx.initiate(rt::Where::Other(), "echo");
+    ctx.accept(rt::AcceptSpec{}.of("ready").forever());
+    const rt::TaskId peer = ctx.sender();
+    const sim::Tick start = sim.engine.now();
+    for (int i = 0; i < rounds; ++i) {
+      ctx.send(rt::Dest::To(peer), "ping",
+               {rt::Value(std::vector<double>(
+                   static_cast<std::size_t>(payload_doubles), 1.0))});
+      ctx.accept(rt::AcceptSpec{}.of("pong").forever());
+    }
+    total = (sim.engine.now() - start) / (2 * rounds);
+  });
+  return total;
+}
+
+void fault_overhead_table(JsonReport& report) {
+  banner("E4e: fault-injection overhead on message latency");
+  // A dormant plan (one PE halt scheduled far past the run) arms the whole
+  // injection machinery — per-transfer draws included — without firing a
+  // single fault; its latency must equal the clean baseline in simulated
+  // ticks. Delay faults then show the expected degradation.
+  const sim::Tick clean = one_way_latency(64);
+  flex::FaultPlan dormant;
+  dormant.pe_halts.push_back({10, 90'000'000'000});
+  const sim::Tick armed = faulty_latency(dormant, 64);
+  flex::FaultPlan delayed = dormant;
+  delayed.bus_delay_probability = 0.25;
+  delayed.bus_delay_ticks = 50'000;
+  const sim::Tick degraded = faulty_latency(delayed, 64);
+  Table t({"mode", "latency (ticks)", "vs clean %"});
+  t.row("clean", clean, 100);
+  t.row("armed, dormant", armed, 100 * armed / clean);
+  t.row("delay p=0.25", degraded, 100 * degraded / clean);
+  report.begin_section("fault_overhead");
+  report.body << "{\"mode\": \"clean\", \"ticks\": " << clean
+              << "}, {\"mode\": \"armed_dormant\", \"ticks\": " << armed
+              << "}, {\"mode\": \"bus_delay_p25\", \"ticks\": " << degraded
+              << "}";
+  report.end_section();
+  note("arming injection costs zero simulated ticks (draws are host-side);\n"
+       "only injected faults change the trajectory.");
+}
+
 void BM_SendAcceptRoundTrip(benchmark::State& state) {
   // Host-time cost of a full simulated ping-pong round (engine + runtime).
   for (auto _ : state) {
@@ -270,6 +332,7 @@ int main(int argc, char** argv) {
   throughput_table(report);
   broadcast_table(report);
   placement_table(report);
+  fault_overhead_table(report);
   report.write(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

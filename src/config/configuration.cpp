@@ -1,7 +1,9 @@
 #include "config/configuration.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -87,6 +89,7 @@ std::vector<std::string> Configuration::validate(const flex::MachineSpec& spec) 
   if (message_heap_bytes > spec.shared_memory_bytes) {
     err("message heap exceeds shared memory");
   }
+  for (auto& problem : faults.validate(spec)) errors.push_back(std::move(problem));
   return errors;
 }
 
@@ -113,6 +116,31 @@ void Configuration::save(std::ostream& os) const {
     os << " " << (trace.kind_on[static_cast<std::size_t>(k)] ? 1 : 0);
   }
   os << "\n";
+  if (faults.any() || faults.seed != 1) {
+    // max_digits10 keeps the probabilities bit-exact across the round-trip.
+    auto prob = [](double p) {
+      std::ostringstream s;
+      s << std::setprecision(std::numeric_limits<double>::max_digits10) << p;
+      return s.str();
+    };
+    os << "fault-seed " << faults.seed << "\n";
+    for (const auto& h : faults.pe_halts) {
+      os << "fault-halt " << h.pe << " " << h.at << "\n";
+    }
+    if (faults.bus_loss > 0 || faults.bus_duplication > 0 ||
+        faults.bus_delay_probability > 0) {
+      os << "fault-bus " << prob(faults.bus_loss) << " "
+         << prob(faults.bus_duplication) << " "
+         << prob(faults.bus_delay_probability) << " " << faults.bus_delay_ticks
+         << "\n";
+    }
+    for (const auto& w : faults.heap_outages) {
+      os << "fault-heap " << w.from << " " << w.until << "\n";
+    }
+    if (faults.disk_error > 0) {
+      os << "fault-disk " << prob(faults.disk_error) << "\n";
+    }
+  }
   os << "end\n";
 }
 
@@ -168,11 +196,28 @@ Configuration Configuration::load(std::istream& is) {
       }
       cfg.clusters.push_back(std::move(c));
     } else if (key == "trace") {
+      // Older files carry fewer flags; extraction failure leaves `on` zero,
+      // so kinds the file predates simply load as off.
       for (int k = 0; k < trace::kEventKindCount; ++k) {
         int on = 0;
         ls >> on;
         cfg.trace.kind_on[static_cast<std::size_t>(k)] = on != 0;
       }
+    } else if (key == "fault-seed") {
+      ls >> cfg.faults.seed;
+    } else if (key == "fault-halt") {
+      flex::FaultPlan::PeHalt h;
+      ls >> h.pe >> h.at;
+      cfg.faults.pe_halts.push_back(h);
+    } else if (key == "fault-bus") {
+      ls >> cfg.faults.bus_loss >> cfg.faults.bus_duplication >>
+          cfg.faults.bus_delay_probability >> cfg.faults.bus_delay_ticks;
+    } else if (key == "fault-heap") {
+      flex::FaultPlan::HeapOutage w;
+      ls >> w.from >> w.until;
+      cfg.faults.heap_outages.push_back(w);
+    } else if (key == "fault-disk") {
+      ls >> cfg.faults.disk_error;
     } else {
       throw std::runtime_error("Configuration::load: unknown key '" + key + "'");
     }

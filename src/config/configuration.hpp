@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "core/accept.hpp"
+#include "flex/fault.hpp"
 #include "flex/machine.hpp"
 #include "mmos/loadfile.hpp"
 #include "sim/time.hpp"
@@ -62,10 +64,12 @@ struct Configuration {
   std::string name = "default";
   std::vector<ClusterConfig> clusters;
   sim::Tick time_limit = 100'000'000;
-  sim::Tick accept_default_timeout = 2'000'000;  ///< system DELAY value
+  /// System DELAY value (see rt::kDefaultAcceptDelayTicks).
+  sim::Tick accept_default_timeout = rt::kDefaultAcceptDelayTicks;
   std::size_t message_heap_bytes = 512 * 1024;   ///< shared-memory message area
   mmos::Loadfile loadfile;
   TraceSettings trace;
+  flex::FaultPlan faults;  ///< deterministic fault-injection plan (empty = none)
 
   [[nodiscard]] const ClusterConfig* find_cluster(int number) const;
   [[nodiscard]] int cluster_count() const { return static_cast<int>(clusters.size()); }

@@ -122,6 +122,33 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
     } else {
       out << "usage: trace <kind> on|off\n";
     }
+  } else if (cmd == "fault") {
+    std::string sub;
+    if (!(is >> sub)) {
+      out << "usage: fault seed|halt|bus|heap|disk|clear ...\n";
+    } else if (sub == "seed") {
+      if (!(is >> cfg_.faults.seed)) out << "usage: fault seed <n>\n";
+    } else if (sub == "halt") {
+      flex::FaultPlan::PeHalt h;
+      if (is >> h.pe >> h.at) cfg_.faults.pe_halts.push_back(h);
+      else out << "usage: fault halt <pe> <tick>\n";
+    } else if (sub == "bus") {
+      auto& f = cfg_.faults;
+      if (!(is >> f.bus_loss >> f.bus_duplication >> f.bus_delay_probability >>
+            f.bus_delay_ticks)) {
+        out << "usage: fault bus <loss> <dup> <delay-prob> <delay-ticks>\n";
+      }
+    } else if (sub == "heap") {
+      flex::FaultPlan::HeapOutage w;
+      if (is >> w.from >> w.until) cfg_.faults.heap_outages.push_back(w);
+      else out << "usage: fault heap <from> <until>\n";
+    } else if (sub == "disk") {
+      if (!(is >> cfg_.faults.disk_error)) out << "usage: fault disk <prob>\n";
+    } else if (sub == "clear") {
+      cfg_.faults = flex::FaultPlan{};
+    } else {
+      out << "unknown fault subcommand '" << sub << "'\n";
+    }
   } else if (cmd == "show") {
     cfg_.save(out);
   } else if (cmd == "validate") {

@@ -10,6 +10,12 @@
 
 namespace pisces::rt {
 
+/// The system default DELAY: the timeout applied to an ACCEPT whose spec
+/// sets neither `delay` nor `no_timeout`. Pinned here (the home of the
+/// ACCEPT statement) so the configuration default, the runtime, and the
+/// tests all agree on one value instead of scattering the literal.
+inline constexpr sim::Tick kDefaultAcceptDelayTicks = 2'000'000;
+
 /// The ACCEPT statement (Section 6):
 ///
 ///     ACCEPT <number> OF

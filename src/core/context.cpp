@@ -47,6 +47,8 @@ bool TaskContext::send(Dest dest, std::string type, std::vector<Value> args) {
   const TaskId to = resolve(dest);
   if (!to.valid()) {
     ++rt_->stats_.dead_letters;
+    rt_->trace_event(trace::EventKind::dead_letter, to, self(), proc_->pe(), 0,
+                     type);
     return false;
   }
   return rt_->post(self(), proc_, to, std::move(type), std::move(args));
@@ -218,6 +220,51 @@ Message TaskContext::wait_reply(std::uint64_t request_id) {
   }
 }
 
+std::optional<Message> TaskContext::wait_reply_for(std::uint64_t request_id,
+                                                   sim::Tick deadline) {
+  while (true) {
+    auto& q = rec_->replies;
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (!it->args.empty() && it->args[0].is_int() &&
+          it->args[0].as_int() == static_cast<std::int64_t>(request_id)) {
+        Message m = std::move(*it);
+        q.erase(it);
+        proc_->compute(rt_->costs().msg_accept_overhead + rt_->costs().heap_free);
+        rt_->heap_release(m.heap_offset);
+        return m;
+      }
+    }
+    if (proc_->block_with_timeout(deadline)) return std::nullopt;
+  }
+}
+
+Message TaskContext::window_transact(
+    const TaskId& service, const std::string& op,
+    const std::function<std::vector<Value>(std::int64_t)>& make_args,
+    const std::string& what) {
+  // A fresh request id per attempt: a late reply to an abandoned attempt
+  // must never satisfy a newer one. Abandoned replies sit in the replies
+  // queue until task end, where finish_task releases their storage.
+  const int attempts =
+      rt_->faults_ != nullptr ? Runtime::kWindowRequestAttempts : 1;
+  sim::Tick patience = rt_->cfg_.accept_default_timeout;
+  for (int a = 0; a < attempts; ++a, patience *= 2) {
+    const std::uint64_t rid = ++rt_->next_request_id_;
+    proc_->compute(rt_->costs().msg_send_overhead);
+    if (!rt_->post(self(), proc_, service, op,
+                   make_args(static_cast<std::int64_t>(rid)))) {
+      throw WindowError("window service unreachable for " + what);
+    }
+    if (attempts == 1) return wait_reply(rid);
+    if (auto rep = wait_reply_for(rid, rt_->engine().now() + patience)) {
+      return std::move(*rep);
+    }
+    ++rt_->stats_.window_retries;
+  }
+  throw WindowError("no reply from window service for " + what + " after " +
+                    std::to_string(attempts) + " attempts");
+}
+
 // ---- forces ----
 
 void TaskContext::forcesplit(const std::function<void(ForceContext&)>& region) {
@@ -336,11 +383,12 @@ Window TaskContext::file_window(int cluster_number, const std::string& file_arra
     throw WindowError("cluster " + std::to_string(cluster_number) +
                       " has no file controller");
   }
-  const std::uint64_t rid = ++rt_->next_request_id_;
-  proc_->compute(rt_->costs().msg_send_overhead);
-  rt_->post(self(), proc_, fc, "_FWIN",
-            {Value(static_cast<std::int64_t>(rid)), Value(file_array)});
-  Message rep = wait_reply(rid);
+  Message rep = window_transact(
+      fc, "_FWIN",
+      [&file_array](std::int64_t rid) {
+        return std::vector<Value>{Value(rid), Value(file_array)};
+      },
+      "file array '" + file_array + "'");
   if (rep.type == "_WINERR") throw WindowError(rep.args.at(1).as_str());
   return rep.args.at(1).as_window();
 }
@@ -357,13 +405,12 @@ Matrix TaskContext::window_read(const Window& w) {
   const TaskId service = w.is_file_window()
                              ? w.owner
                              : rt_->cluster(w.owner.cluster).controller_id();
-  const std::uint64_t rid = ++rt_->next_request_id_;
-  proc_->compute(rt_->costs().msg_send_overhead);
-  if (!rt_->post(self(), proc_, service, "_WINREAD",
-                 {Value(static_cast<std::int64_t>(rid)), Value(w)})) {
-    throw WindowError("window service unreachable for " + w.owner.str());
-  }
-  Message rep = wait_reply(rid);
+  Message rep = window_transact(
+      service, "_WINREAD",
+      [&w](std::int64_t rid) {
+        return std::vector<Value>{Value(rid), Value(w)};
+      },
+      w.owner.str());
   if (rep.type == "_WINERR") throw WindowError(rep.args.at(1).as_str());
   Matrix out(w.rect.rows, w.rect.cols);
   const auto& data = rep.args.at(1).as_real_array();
@@ -388,14 +435,13 @@ void TaskContext::window_write(const Window& w, const Matrix& data) {
   const TaskId service = w.is_file_window()
                              ? w.owner
                              : rt_->cluster(w.owner.cluster).controller_id();
-  const std::uint64_t rid = ++rt_->next_request_id_;
-  proc_->compute(rt_->costs().msg_send_overhead);
-  if (!rt_->post(self(), proc_, service, "_WINWRITE",
-                 {Value(static_cast<std::int64_t>(rid)), Value(w),
-                  Value(std::vector<double>(data.data()))})) {
-    throw WindowError("window service unreachable for " + w.owner.str());
-  }
-  Message rep = wait_reply(rid);
+  Message rep = window_transact(
+      service, "_WINWRITE",
+      [&w, &data](std::int64_t rid) {
+        return std::vector<Value>{Value(rid), Value(w),
+                                  Value(std::vector<double>(data.data()))};
+      },
+      w.owner.str());
   if (rep.type == "_WINERR") throw WindowError(rep.args.at(1).as_str());
 }
 

@@ -121,6 +121,17 @@ class TaskContext {
   /// Process one matched message (handler or signal); updates result.
   void consume(Message msg, AcceptResult& res);
   Message wait_reply(std::uint64_t request_id);
+  /// As wait_reply, but gives up at `deadline` (nullopt on timeout).
+  std::optional<Message> wait_reply_for(std::uint64_t request_id,
+                                        sim::Tick deadline);
+  /// Send one window-service request and wait for its reply. Fault-free
+  /// runs send once and wait forever (the service always answers); under
+  /// fault injection the request is retried with a doubling patience
+  /// window, then fails with a typed WindowError.
+  Message window_transact(
+      const TaskId& service, const std::string& op,
+      const std::function<std::vector<Value>(std::int64_t)>& make_args,
+      const std::string& what);
   [[nodiscard]] TaskId resolve(const Dest& dest) const;
 
   Runtime* rt_;

@@ -20,6 +20,15 @@ int Cluster::free_user_slots() const {
   return static_cast<int>(free_slots.size());
 }
 
+const char* kill_result_name(KillResult r) {
+  switch (r) {
+    case KillResult::killed: return "killed";
+    case KillResult::not_found: return "not-found";
+    case KillResult::protected_controller: return "protected-controller";
+  }
+  return "?";
+}
+
 Runtime::Runtime(mmos::System& sys, config::Configuration cfg)
     : sys_(&sys), cfg_(std::move(cfg)) {}
 
@@ -116,8 +125,74 @@ void Runtime::boot() {
 
   for (auto& cl : clusters_) start_controllers(*cl);
 
+  arm_faults();
   deadline_ = sys_->engine().now() + cfg_.time_limit;
   booted_ = true;
+}
+
+// ---- fault injection ----
+
+void Runtime::arm_faults() {
+  if (!cfg_.faults.any()) return;
+  faults_ = std::make_unique<flex::FaultInjector>(cfg_.faults);
+  sys_->machine().set_fault_injector(faults_.get());
+  auto& eng = sys_->engine();
+  const sim::Tick now = eng.now();
+  for (const auto& h : cfg_.faults.pe_halts) {
+    eng.schedule(std::max(h.at, now), [this, pe = h.pe] { on_pe_halt(pe); });
+  }
+  for (const auto& w : cfg_.faults.heap_outages) {
+    eng.schedule(std::max(w.from, now), [this] {
+      msg_heap_->set_outage(true);
+      trace_event(trace::EventKind::fault, {}, {}, 0, 0, "heap-outage-begin");
+    });
+    eng.schedule(std::max(w.until, now), [this] {
+      msg_heap_->set_outage(false);
+      trace_event(trace::EventKind::fault, {}, {}, 0, 0, "heap-outage-end");
+      // Senders backing off against the outage re-check on their timeout;
+      // nothing to wake explicitly.
+    });
+  }
+}
+
+void Runtime::on_pe_halt(int pe) {
+  if (faults_ == nullptr || faults_->pe_halted(pe)) return;
+  faults_->mark_halted(pe);
+  trace_event(trace::EventKind::fault, {}, {}, pe, 0, "pe-halt");
+  console().write_line(sys_->engine().now(),
+                       "PISCES FAULT: PE " + std::to_string(pe) + " HALTED");
+  for (auto& cl : clusters_) {
+    // A cluster whose primary PE died loses its controllers: mark it dead
+    // so ANY/OTHER placement routes around it, and drop held initiates
+    // (nobody is left to start them).
+    if (cl->cfg.primary_pe == pe) {
+      cl->dead = true;
+      for (const auto& req : cl->pending) {
+        ++stats_.dead_letters;
+        trace_event(trace::EventKind::dead_letter, cl->controller_id(),
+                    req.parent, pe, 0, "_INITIATE " + req.tasktype);
+      }
+      cl->pending.clear();
+    }
+    // A task with a force member on the dead PE can never pass its next
+    // barrier; abort the whole task so the surviving members unwind instead
+    // of wedging. (The lost member's process dies with the kernel below.)
+    for (auto& recp : cl->slots) {
+      TaskRecord& rec = *recp;
+      if (rec.state == TaskState::free_slot || rec.proc == nullptr) continue;
+      if (rec.pe == pe) continue;  // dies with its kernel anyway
+      for (auto* member : rec.force_members) {
+        if (member->pe() == pe) {
+          rec.proc->kill();
+          break;
+        }
+      }
+    }
+  }
+  // The watchdog sweep: the halted kernel kills every process it hosts;
+  // each task's exit callback runs finish_task, which reclaims the slot,
+  // releases queued-message heap storage, and notifies the parent.
+  sys_->kernel(pe).halt();
 }
 
 // ---- controllers ----
@@ -158,23 +233,31 @@ int Runtime::place_task_pe(Cluster& cl) {
       return cl.cfg.primary_pe;
     case config::PlacePolicy::least_loaded: {
       // Strict < over the primary-first order: ties go to the earlier PE, so
-      // an idle configuration places exactly like `primary` would.
-      int best = cl.cfg.primary_pe;
-      std::size_t best_load = sys_->kernel(best).live_count();
-      for (int pe : cl.cfg.secondary_pes) {
+      // an idle configuration places exactly like `primary` would. Halted
+      // PEs are skipped so new initiates degrade onto the survivors.
+      int best = -1;
+      std::size_t best_load = 0;
+      auto consider = [&](int pe) {
+        if (!pe_usable(pe)) return;
         const std::size_t load = sys_->kernel(pe).live_count();
-        if (load < best_load) {
+        if (best < 0 || load < best_load) {
           best = pe;
           best_load = load;
         }
-      }
-      return best;
+      };
+      consider(cl.cfg.primary_pe);
+      for (int pe : cl.cfg.secondary_pes) consider(pe);
+      return best < 0 ? cl.cfg.primary_pe : best;
     }
     case config::PlacePolicy::round_robin: {
       const std::size_t n = 1 + cl.cfg.secondary_pes.size();
-      const std::size_t k = cl.rr_next++ % n;
-      return k == 0 ? cl.cfg.primary_pe
-                    : cl.cfg.secondary_pes[k - 1];
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t k = cl.rr_next++ % n;
+        const int pe = k == 0 ? cl.cfg.primary_pe
+                              : cl.cfg.secondary_pes[k - 1];
+        if (pe_usable(pe)) return pe;
+      }
+      return cl.cfg.primary_pe;
     }
   }
   return cl.cfg.primary_pe;
@@ -262,6 +345,9 @@ void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
   auto& rec = cl.slot(slot);
   if (rec.id != id || rec.state == TaskState::free_slot) return;
   trace_event(trace::EventKind::task_term, id, {}, rec.pe, 0, rec.tasktype);
+  const bool abnormal = rec.proc != nullptr && rec.proc->was_killed();
+  const TaskId parent = rec.parent;
+  const int pe = rec.pe;
   // Reap force members left behind by a kill mid-force.
   for (auto* member : rec.force_members) member->kill();
   rec.force_members.clear();
@@ -274,11 +360,24 @@ void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
   rec.shared_blocks.clear();  // frees the SHARED COMMON area
   rec.locks.clear();
   rec.init_args.clear();
-  if (rec.proc != nullptr && rec.proc->was_killed()) ++stats_.tasks_killed;
+  if (abnormal) ++stats_.tasks_killed;
   rec.proc = nullptr;
   rec.state = TaskState::free_slot;
   if (slot >= kFirstUserSlot) cl.free_slots.insert(slot);
   ++stats_.tasks_finished;
+  if (abnormal) {
+    // Abnormal termination is reported to the parent (_CHILDTERM carries the
+    // child's taskid — first-class data — so parents can react in ACCEPT
+    // handlers). Posted after the slot is reclaimed so a parent reacting
+    // immediately sees the freed slot.
+    const std::string reason =
+        (faults_ != nullptr && faults_->pe_halted(pe)) ? "pe-halt" : "killed";
+    trace_event(trace::EventKind::child_term, id, parent, pe, 0, reason);
+    if (live_record(parent) != nullptr) {
+      ++stats_.childterms_posted;
+      post(id, nullptr, parent, "_CHILDTERM", {Value(id), Value(reason)});
+    }
+  }
   // Wake the cluster's task controller so held initiates can proceed.
   if (auto* ctl = cl.slot(kTaskControllerSlot).proc) ctl->wake();
 }
@@ -455,12 +554,39 @@ void Runtime::serve_file_window(Cluster& cl, TaskContext& ctl, const Message& m)
   // pipeline through the disk. The controller does not block — the data
   // movement and the reply happen at the operation's completion tick.
   auto& sched = cl.file_schedulers[w.array];
+  auto& disk = sys_->machine().disk(cl.disk_pe);
   const sim::Tick now = sys_->engine().now();
   const sim::Tick start = sched.earliest_start(w.rect, is_write, now);
-  const sim::Tick done =
-      sys_->machine().disk(cl.disk_pe).transfer(start, w.bytes());
+  sim::Tick done = disk.transfer(start, w.bytes());
+  // Fault injection: each pass over the platter may fail; a failed pass
+  // still occupied the disk, and the bounded retry re-runs the transfer.
+  bool io_failed = false;
+  if (faults_ != nullptr && faults_->plan().disk_error > 0.0) {
+    int attempts = 1;
+    while (faults_->next_disk_error()) {
+      disk.note_io_error();
+      trace_event(trace::EventKind::fault, requester, fc_id, cl.disk_pe, 0,
+                  "disk-error " + name);
+      if (attempts >= kDiskIoAttempts) {
+        io_failed = true;
+        break;
+      }
+      ++attempts;
+      done = disk.transfer(done, w.bytes());
+    }
+  }
   sched.record(w.rect, is_write, now, done);
   ctl.proc().compute(costs().msg_accept_overhead);  // request bookkeeping
+  if (io_failed) {
+    // The typed error arrives when the last failed pass completes, exactly
+    // like data would.
+    sys_->engine().schedule(done, [this, rid, requester, fc_id, name] {
+      post(fc_id, nullptr, requester, "_WINERR",
+           {Value(rid), Value("disk I/O error on '" + name + "'")},
+           /*to_reply_queue=*/true);
+    });
+    return;
+  }
 
   Cluster* clp = &cl;
   if (is_write) {
@@ -495,7 +621,21 @@ void Runtime::charge_shared(mmos::Proc& proc, std::size_t bytes) {
 
 std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc) {
   bool retried = false;
+  int outage_denials = 0;
+  sim::Tick backoff = kHeapOutageBackoffTicks;
   while (true) {
+    if (msg_heap_->outage()) {
+      // Injected allocation-failure window: bounded retry with exponential
+      // backoff, then a typed failure (the caller drops the message and
+      // reports a failed send rather than blocking forever).
+      if (faults_ != nullptr) ++faults_->stats().heap_denials;
+      if (proc == nullptr || ++outage_denials >= kHeapOutageAttempts) {
+        return kNoSpace;
+      }
+      (void)proc->block_with_timeout(sys_->engine().now() + backoff);
+      backoff *= 2;
+      continue;
+    }
     auto off = msg_heap_->allocate(bytes);
     if (off.has_value()) return *off;
     if (proc == nullptr) return kNoSpace;
@@ -549,6 +689,7 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   }
   if (live_record(to) == nullptr) {
     ++stats_.dead_letters;
+    trace_event(trace::EventKind::dead_letter, to, from, 0, 0, type);
     return false;
   }
   Message msg;
@@ -559,6 +700,8 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   const std::size_t off = heap_allocate_blocking(bytes, sender_proc);
   if (off == kNoSpace) {
     ++stats_.dead_letters;
+    trace_event(trace::EventKind::dead_letter, to, from, 0, 0,
+                msg.type + " (no message storage)");
     return false;
   }
   if (sender_proc != nullptr) {
@@ -566,14 +709,6 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
     charge_shared(*sender_proc, bytes);
   } else {
     sys_->machine().shared_transfer(sys_->engine().now(), bytes);
-  }
-  // Re-check: the receiver may have terminated while we waited for heap
-  // space or for the bus.
-  TaskRecord* rec = live_record(to);
-  if (rec == nullptr) {
-    heap_release(off);
-    ++stats_.dead_letters;
-    return false;
   }
   msg.heap_offset = off;
   msg.heap_bytes = bytes;
@@ -588,6 +723,66 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
     sender_pe = sender->pe;  // proc-less sends (environment) still have a home PE
   }
   trace_event(trace::EventKind::msg_send, from, to, sender_pe, msg.seq, msg.type);
+
+  // Fault injection: one bus-fault draw per transfer. _CHILDTERM is exempt —
+  // the recovery guarantee is that a parent always learns its child died.
+  if (faults_ != nullptr && msg.type != "_CHILDTERM") {
+    const sim::Tick now = sys_->engine().now();
+    switch (faults_->next_bus_fault()) {
+      case flex::BusFault::lose:
+        // The transfer happened (and was charged) but the message vanishes.
+        // Asynchronous sends don't learn about the loss; the send succeeds.
+        trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                    "bus-lose " + msg.type);
+        sys_->machine().bus().note_faulted();
+        heap_release(off);
+        return true;
+      case flex::BusFault::duplicate:
+        if (auto doff = msg_heap_->allocate(bytes); doff.has_value()) {
+          trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                      "bus-dup " + msg.type);
+          sys_->machine().bus().note_faulted();
+          sys_->machine().shared_transfer(now, bytes);
+          Message dup = msg;
+          dup.heap_offset = *doff;
+          dup.seq = ++next_msg_seq_;
+          const bool ok = deliver(std::move(msg), to, to_reply_queue);
+          (void)deliver(std::move(dup), to, to_reply_queue);
+          return ok;
+        }
+        break;  // no storage for the ghost copy: deliver just the original
+      case flex::BusFault::delay: {
+        const sim::Tick delay = cfg_.faults.bus_delay_ticks;
+        trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                    "bus-delay " + msg.type);
+        sys_->machine().bus().stall(now, delay);
+        sys_->engine().schedule(
+            now + delay,
+            [this, m = std::move(msg), to, to_reply_queue]() mutable {
+              (void)deliver(std::move(m), to, to_reply_queue);
+            });
+        return true;
+      }
+      case flex::BusFault::none:
+        break;
+    }
+  }
+  return deliver(std::move(msg), to, to_reply_queue);
+}
+
+bool Runtime::deliver(Message msg, TaskId to, bool to_reply_queue) {
+  // Re-check liveness at delivery time: the receiver may have terminated
+  // while the sender waited for heap space or the bus, or while an injected
+  // delay held the message in flight.
+  TaskRecord* rec = live_record(to);
+  if (rec == nullptr) {
+    ++stats_.dead_letters;
+    trace_event(trace::EventKind::dead_letter, to, msg.sender, 0, msg.seq,
+                msg.type);
+    heap_release(msg.heap_offset);
+    return false;
+  }
+  msg.arrived_at = sys_->engine().now();
   if (to_reply_queue) {
     rec->replies.push_back(std::move(msg));
   } else {
@@ -622,6 +817,7 @@ int Runtime::resolve_where(const Where& where, int my_cluster) const {
         if (where.kind == Where::Kind::other && cl->cfg.number == my_cluster) {
           continue;
         }
+        if (cl->dead) continue;  // primary PE halted: nobody to serve it
         const int f = cl->free_user_slots();
         const std::size_t backlog = cl->pending.size();
         if (f > best_free || (f == best_free && backlog < best_backlog)) {
@@ -665,13 +861,12 @@ bool Runtime::user_send(TaskId to, std::string type, std::vector<Value> args) {
   return post(user_controller_id(), nullptr, to, std::move(type), std::move(args));
 }
 
-bool Runtime::kill_task(TaskId id) {
+KillResult Runtime::try_kill_task(TaskId id) {
   TaskRecord* rec = live_record(id);
-  if (rec == nullptr || id.slot < kFirstUserSlot || rec->proc == nullptr) {
-    return false;
-  }
+  if (rec == nullptr || rec->proc == nullptr) return KillResult::not_found;
+  if (id.slot < kFirstUserSlot) return KillResult::protected_controller;
   rec->proc->kill();
-  return true;
+  return KillResult::killed;
 }
 
 int Runtime::delete_messages(TaskId id, const std::string& type) {

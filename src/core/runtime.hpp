@@ -12,6 +12,7 @@
 #include "config/configuration.hpp"
 #include "core/context.hpp"
 #include "core/task.hpp"
+#include "flex/fault.hpp"
 #include "flex/shared_heap.hpp"
 #include "fsim/file_store.hpp"
 #include "fsim/rw_scheduler.hpp"
@@ -36,6 +37,9 @@ struct Cluster {
   config::ClusterConfig cfg;
   std::vector<std::unique_ptr<TaskRecord>> slots;
   std::deque<PendingInitiate> pending;
+  /// Set when the cluster's primary PE is halted by fault injection: its
+  /// controllers are gone, so ANY/OTHER placement must route elsewhere.
+  bool dead = false;
   /// Free user slots, kept in sync by start_task/finish_task so slot lookup
   /// and placement never rescan the slot table. Ordered so the lowest slot
   /// number is handed out first (deterministic, matches the old scan).
@@ -78,7 +82,19 @@ struct RuntimeStats {
   std::uint64_t controller_unknown_messages = 0;
   std::uint64_t messages_deleted = 0;
   std::uint64_t message_bytes_sent = 0;
+  std::uint64_t childterms_posted = 0;  ///< _CHILDTERM notifications delivered
+  std::uint64_t window_retries = 0;     ///< window requests re-sent under faults
 };
+
+/// Outcome of Runtime::try_kill_task, so callers can tell a stale taskid
+/// from an attempt to kill a protected controller.
+enum class KillResult {
+  killed,                ///< the task's process was killed
+  not_found,             ///< stale/invalid taskid (or task already dead)
+  protected_controller,  ///< controllers (slots 0-2) cannot be killed
+};
+
+[[nodiscard]] const char* kill_result_name(KillResult r);
 
 /// The PISCES 2 run-time system: boots the virtual machine described by a
 /// Configuration onto the MMOS/FLEX substrate, runs the controller tasks,
@@ -114,7 +130,9 @@ class Runtime {
   /// Menu 3, SEND A MESSAGE (from the user).
   bool user_send(TaskId to, std::string type, std::vector<Value> args = {});
   /// Menu 2, KILL A TASK. False if the taskid is stale or not a user task.
-  bool kill_task(TaskId id);
+  bool kill_task(TaskId id) { return try_kill_task(id) == KillResult::killed; }
+  /// As kill_task, but reports *why* nothing was killed.
+  KillResult try_kill_task(TaskId id);
   /// Menu 4, DELETE MESSAGES: drop queued messages of `type` ("" = all)
   /// from a task's in-queue. Returns how many were deleted.
   int delete_messages(TaskId id, const std::string& type = "");
@@ -157,6 +175,10 @@ class Runtime {
   [[nodiscard]] const flex::SharedHeap& message_heap() const { return *msg_heap_; }
   /// The SHARED COMMON area.
   [[nodiscard]] const flex::SharedHeap& common_heap() const { return *common_heap_; }
+  /// The interpreter of the configuration's FaultPlan; null on fault-free runs.
+  [[nodiscard]] const flex::FaultInjector* fault_injector() const {
+    return faults_.get();
+  }
 
  private:
   friend class TaskContext;
@@ -190,9 +212,32 @@ class Runtime {
   /// may have been killed meanwhile, freeing the storage. Null if gone.
   [[nodiscard]] Matrix* live_window_array(const Window& w);
 
+  /// Finish delivery of an in-flight message: enqueue it (re-checking that
+  /// the destination is still live) and wake the receiver. False (with a
+  /// dead letter counted and the heap block released) if the receiver died.
+  bool deliver(Message msg, TaskId to, bool to_reply_queue);
+
   /// Sentinel from heap_allocate_blocking when no proc was given and the
   /// heap is full (environment-originated messages are dropped, not blocked).
   static constexpr std::size_t kNoSpace = static_cast<std::size_t>(-1);
+
+  // ---- fault injection and recovery ----
+  /// Build the FaultInjector and schedule the plan's timed faults (boot).
+  void arm_faults();
+  /// A PE-halt fault: kill everything on the PE, mark clusters whose
+  /// primary died as dead, and abort tasks wedged on lost force members.
+  void on_pe_halt(int pe);
+  /// False only for PEs halted by fault injection.
+  [[nodiscard]] bool pe_usable(int pe) const {
+    return faults_ == nullptr || !faults_->pe_halted(pe);
+  }
+  /// Bounded retry/backoff for heap allocation during an injected outage.
+  static constexpr int kHeapOutageAttempts = 8;
+  static constexpr sim::Tick kHeapOutageBackoffTicks = 25'000;
+  /// Window requests re-sent before giving up, when faults are enabled.
+  static constexpr int kWindowRequestAttempts = 4;
+  /// Disk passes (1 initial + retries) before an injected error surfaces.
+  static constexpr int kDiskIoAttempts = 3;
 
   void start_controllers(Cluster& cl);
   void task_controller_body(Cluster& cl, TaskContext& ctx);
@@ -238,6 +283,7 @@ class Runtime {
   /// first-fit against the recovered space, instead of waking everyone to
   /// stampede for it.
   std::deque<HeapWaiter> heap_waiters_;
+  std::unique_ptr<flex::FaultInjector> faults_;  ///< null unless cfg_.faults.any()
   RuntimeStats stats_;
   bool booted_ = false;
   bool timed_out_ = false;

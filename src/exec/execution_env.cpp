@@ -152,7 +152,13 @@ void ExecutionEnvironment::initiate_task(std::ostream& out, int cluster,
 }
 
 void ExecutionEnvironment::kill_task(std::ostream& out, rt::TaskId id) {
-  out << (rt_->kill_task(id) ? "task killed\n" : "no such running user task\n");
+  switch (rt_->try_kill_task(id)) {
+    case rt::KillResult::killed: out << "task killed\n"; break;
+    case rt::KillResult::protected_controller:
+      out << "cannot kill a controller task\n";
+      break;
+    case rt::KillResult::not_found: out << "no such running user task\n"; break;
+  }
 }
 
 void ExecutionEnvironment::send_message(std::ostream& out, rt::TaskId to,
@@ -287,6 +293,7 @@ void ExecutionEnvironment::display_organization(std::ostream& out) const {
     if (cl->cfg.place != config::PlacePolicy::primary) {
       out << ", place " << config::place_policy_name(cl->cfg.place);
     }
+    if (cl->dead) out << ", DEAD: primary PE halted";
     out << ")\n";
     for (std::size_t s = 0; s < cl->slots.size(); ++s) {
       const auto& rec = *cl->slots[s];
@@ -313,6 +320,14 @@ void ExecutionEnvironment::display_organization(std::ostream& out) const {
   }
   out << "|            message-passing network (shared memory)         |\n";
   out << "+------------------------------------------------------------+\n";
+  out << "dead-letters: " << rt_->stats().dead_letters << "\n";
+  if (const auto* fi = rt_->fault_injector()) {
+    const auto& fs = fi->stats();
+    out << "faults: pe-halts=" << fs.pe_halts << " bus-lost=" << fs.bus_lost
+        << " bus-dup=" << fs.bus_duplicated << " bus-delayed=" << fs.bus_delayed
+        << " heap-denials=" << fs.heap_denials
+        << " disk-errors=" << fs.disk_errors << "\n";
+  }
 }
 
 }  // namespace pisces::exec

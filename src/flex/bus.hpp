@@ -24,18 +24,32 @@ class Bus {
     return busy_until_;
   }
 
+  /// Occupy the bus for `duration` ticks without counting a transfer — used
+  /// by fault injection to model a stalled/retried transfer holding the bus.
+  void stall(sim::Tick now, sim::Tick duration) {
+    const sim::Tick start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + duration;
+    busy_ticks_ += duration;
+    ++faulted_transfers_;
+  }
+
+  /// Record a transfer corrupted by fault injection (lost or duplicated).
+  void note_faulted() { ++faulted_transfers_; }
+
   [[nodiscard]] sim::Tick busy_until() const { return busy_until_; }
   /// Total ticks the bus spent transferring data.
   [[nodiscard]] sim::Tick busy_ticks() const { return busy_ticks_; }
   /// Total ticks requesters spent queued behind earlier transfers.
   [[nodiscard]] sim::Tick wait_ticks() const { return wait_ticks_; }
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] std::uint64_t faulted_transfers() const { return faulted_transfers_; }
 
  private:
   sim::Tick busy_until_ = 0;
   sim::Tick busy_ticks_ = 0;
   sim::Tick wait_ticks_ = 0;
   std::uint64_t transfers_ = 0;
+  std::uint64_t faulted_transfers_ = 0;
 };
 
 }  // namespace pisces::flex

@@ -26,10 +26,15 @@ class Disk {
     return busy_until_;
   }
 
+  /// Record an injected I/O error (the failed pass still occupied the disk;
+  /// callers account it with a regular transfer()).
+  void note_io_error() { ++io_errors_; }
+
   [[nodiscard]] sim::Tick busy_until() const { return busy_until_; }
   [[nodiscard]] sim::Tick busy_ticks() const { return busy_ticks_; }
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
   [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t io_errors() const { return io_errors_; }
 
  private:
   const CostModel* costs_;
@@ -37,6 +42,7 @@ class Disk {
   sim::Tick busy_ticks_ = 0;
   std::uint64_t transfers_ = 0;
   std::uint64_t bytes_moved_ = 0;
+  std::uint64_t io_errors_ = 0;
 };
 
 }  // namespace pisces::flex

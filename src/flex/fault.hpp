@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "flex/machine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace pisces::flex {
+
+/// Declarative description of the faults to inject into one run. Owned by
+/// the Configuration (new `fault-*` config tokens, see configuration.cpp)
+/// and interpreted by a FaultInjector at boot. Everything here is
+/// deterministic: scheduled faults fire at fixed ticks, and probabilistic
+/// faults draw from dedicated sim::Rng streams seeded from `seed`, so the
+/// same plan replays the same fault trajectory on both engine backends.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Halt an MMOS PE at a given tick: every process hosted on it is killed
+  /// and the PE accepts no further work.
+  struct PeHalt {
+    int pe = 0;
+    sim::Tick at = 0;
+  };
+  std::vector<PeHalt> pe_halts;
+
+  // Per-message bus fault probabilities (one uniform draw per transfer).
+  double bus_loss = 0.0;           ///< message vanishes after the transfer
+  double bus_duplication = 0.0;    ///< message is delivered twice
+  double bus_delay_probability = 0.0;  ///< delivery deferred by bus_delay_ticks
+  sim::Tick bus_delay_ticks = 50'000;
+
+  /// While [from, until) is active the message heap denies all allocations.
+  struct HeapOutage {
+    sim::Tick from = 0;
+    sim::Tick until = 0;
+  };
+  std::vector<HeapOutage> heap_outages;
+
+  /// Per-request probability that a disk transfer fails and must be retried.
+  double disk_error = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return !pe_halts.empty() || !heap_outages.empty() || bus_loss > 0.0 ||
+           bus_duplication > 0.0 || bus_delay_probability > 0.0 ||
+           disk_error > 0.0;
+  }
+
+  /// Sanity-check the plan against a machine description; returns a list of
+  /// human-readable problems (empty when the plan is well formed).
+  [[nodiscard]] std::vector<std::string> validate(const MachineSpec& spec) const;
+};
+
+/// Verdict for one bus transfer.
+enum class BusFault { none, lose, duplicate, delay };
+
+/// Counters for faults actually injected (as opposed to planned); the chaos
+/// harness checks these against the runtime's recovery counters.
+struct FaultStats {
+  std::uint64_t pe_halts = 0;
+  std::uint64_t bus_lost = 0;
+  std::uint64_t bus_duplicated = 0;
+  std::uint64_t bus_delayed = 0;
+  std::uint64_t heap_denials = 0;
+  std::uint64_t disk_errors = 0;
+};
+
+/// Runtime interpreter for a FaultPlan. Owns the dedicated random streams
+/// (one per fault family, so e.g. adding disk traffic never perturbs the bus
+/// fault sequence) and remembers which PEs have been halted.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan),
+        bus_rng_(mix(plan.seed, 0xb5u)),
+        disk_rng_(mix(plan.seed, 0xd15cu)) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Draw the verdict for one bus transfer (exactly one draw per call).
+  [[nodiscard]] BusFault next_bus_fault();
+
+  /// Draw whether one disk transfer fails.
+  [[nodiscard]] bool next_disk_error();
+
+  void mark_halted(int pe) {
+    if (halted_.insert(pe).second) ++stats_.pe_halts;
+  }
+  [[nodiscard]] bool pe_halted(int pe) const { return halted_.count(pe) != 0; }
+  [[nodiscard]] const std::set<int>& halted_pes() const { return halted_; }
+
+  [[nodiscard]] FaultStats& stats() { return stats_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream) {
+    // SplitMix64 finalizer over (seed, stream) so streams are decorrelated
+    // even for adjacent seeds.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  FaultPlan plan_;
+  sim::Rng bus_rng_;
+  sim::Rng disk_rng_;
+  std::set<int> halted_;
+  FaultStats stats_;
+};
+
+}  // namespace pisces::flex

@@ -14,6 +14,8 @@
 
 namespace pisces::flex {
 
+class FaultInjector;
+
 /// Static description of a FLEX/32 installation. Defaults match the NASA
 /// Langley machine described in Section 11 of the paper: 20 NS32032 PEs,
 /// 1 MB local memory each, 2.25 MB shared memory, disks on PEs 1 and 2,
@@ -53,6 +55,12 @@ class Machine {
   [[nodiscard]] Bus& bus() { return bus_; }
   [[nodiscard]] Disk& disk(int pe);
 
+  /// Attach (or detach, with nullptr) the fault injector interpreting the
+  /// run's FaultPlan. The machine does not own it; the runtime that armed
+  /// the plan does. Null on fault-free runs — callers must check.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return faults_; }
+
   /// Number of 32-bit words needed for `bytes`.
   static sim::Tick words_for(std::size_t bytes) {
     return static_cast<sim::Tick>((bytes + 3) / 4);
@@ -81,6 +89,7 @@ class Machine {
   MemoryArena shared_memory_;
   Bus bus_;
   std::vector<std::unique_ptr<Disk>> disks_;  // index 0 => PE 1; null if none
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace pisces::flex

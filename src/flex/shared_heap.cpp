@@ -15,6 +15,10 @@ std::size_t SharedHeap::size_class(std::size_t size) {
 }
 
 std::optional<std::size_t> SharedHeap::allocate(std::size_t bytes) {
+  if (outage_) {
+    ++failed_allocations_;
+    return std::nullopt;
+  }
   const std::size_t need = round_up(std::max<std::size_t>(bytes, 1));
   // The request's own class may hold blocks smaller than `need`; a
   // lower_bound skips them. Every block in a higher class fits, so take its

@@ -31,8 +31,15 @@ class SharedHeap {
   }
 
   /// Allocate `bytes` (rounded up to the 8-byte allocation granule).
-  /// Returns the block offset, or nullopt when no free block fits.
+  /// Returns the block offset, or nullopt when no free block fits (or an
+  /// injected outage is active).
   std::optional<std::size_t> allocate(std::size_t bytes);
+
+  /// Fault injection: while an outage is active every allocate() fails (and
+  /// counts as a failed allocation); releases still succeed, so storage
+  /// drains but cannot grow.
+  void set_outage(bool on) { outage_ = on; }
+  [[nodiscard]] bool outage() const { return outage_; }
 
   /// Release a block previously returned by allocate(). The offset must be
   /// exact; releasing an unknown offset throws std::logic_error.
@@ -88,6 +95,7 @@ class SharedHeap {
   FreeMap free_blocks_;                             ///< offset -> entry (address order)
   std::array<Bin, kSizeClasses> bins_;              ///< segregated by size class
   std::map<std::size_t, std::size_t> allocated_;    ///< offset -> size
+  bool outage_ = false;
   std::size_t in_use_ = 0;
   std::size_t peak_in_use_ = 0;
   std::uint64_t total_allocations_ = 0;

@@ -16,17 +16,35 @@ Proc& Kernel::create_process(std::string name, Proc::Body body) {
                           [&p](sim::Process& sp) { p.body_wrapper(sp); });
   procs_.push_back(std::move(proc));
   ++live_;
+  if (halted_) {
+    // Deferred so the caller can still attach on_exit callbacks before the
+    // kill's exit path runs them.
+    engine().schedule(engine().now(), [&p] { p.kill(); });
+    return p;
+  }
   make_ready(p);
   return p;
 }
 
+void Kernel::halt() {
+  if (halted_) return;
+  halted_ = true;
+  // Kill in creation order so the unwind sequence is deterministic. Each
+  // kill routes through remove()/release(), and with halted_ set nothing is
+  // ever dispatched again; bodies unwind at their next blocking point.
+  for (auto& p : procs_) {
+    if (!p->finished_) p->kill();
+  }
+}
+
 void Kernel::make_ready(Proc& p) {
-  if (p.finished_) return;
+  if (p.finished_ || halted_) return;
   ready_.push_back(&p);
   maybe_dispatch();
 }
 
 void Kernel::maybe_dispatch() {
+  if (halted_) return;
   while (current_ == nullptr && !ready_.empty()) {
     Proc* p = ready_.front();
     ready_.pop_front();

@@ -28,8 +28,17 @@ class Kernel {
   [[nodiscard]] const flex::CostModel& costs() const { return machine_->costs(); }
 
   /// Create a process on this PE. It becomes ready immediately and starts
-  /// (with process-creation cost charged to it) when first dispatched.
+  /// (with process-creation cost charged to it) when first dispatched. On a
+  /// halted PE the process is created already doomed: a kill is scheduled
+  /// for the current tick, after the caller has had a chance to register
+  /// exit callbacks.
   Proc& create_process(std::string name, Proc::Body body);
+
+  /// Fault injection: halt this PE. Every unfinished process is killed (in
+  /// creation order, for determinism) and the kernel never dispatches
+  /// again. Idempotent.
+  void halt();
+  [[nodiscard]] bool halted() const { return halted_; }
 
   // Scheduler introspection (the exec environment's "DISPLAY PE LOADING"
   // and the runtime's least-loaded task placement).
@@ -75,6 +84,7 @@ class Kernel {
 
   flex::Machine* machine_;
   int pe_;
+  bool halted_ = false;
   std::deque<Proc*> ready_;
   std::size_t live_ = 0;
   Proc* current_ = nullptr;

@@ -92,6 +92,14 @@ std::map<std::string, std::uint64_t> Analyzer::message_type_counts() const {
   return out;
 }
 
+std::map<rt::TaskId, std::string> Analyzer::abnormal_terminations() const {
+  std::map<rt::TaskId, std::string> out;
+  for (const Record& r : records_) {
+    if (r.kind == EventKind::child_term) out[r.task] = r.info;
+  }
+  return out;
+}
+
 std::map<int, std::uint64_t> Analyzer::pe_activity() const {
   std::map<int, std::uint64_t> out;
   for (const Record& r : records_) {
@@ -106,7 +114,8 @@ std::string Analyzer::report() const {
   static constexpr EventKind kAll[] = {
       EventKind::task_init,  EventKind::task_term, EventKind::msg_send,
       EventKind::msg_accept, EventKind::lock,      EventKind::unlock,
-      EventKind::barrier_enter, EventKind::force_split};
+      EventKind::barrier_enter, EventKind::force_split,
+      EventKind::dead_letter, EventKind::fault, EventKind::child_term};
   for (EventKind k : kAll) {
     os << "  " << kind_name(k) << ": " << count(k) << '\n';
   }

@@ -53,6 +53,10 @@ class Analyzer {
   /// Sent-message counts by message type (the type travels in `info`).
   [[nodiscard]] std::map<std::string, std::uint64_t> message_type_counts() const;
 
+  /// Abnormally terminated tasks (from CHILD-TERM records): task -> reason.
+  /// This is how the chaos harness proves every killed child was reported.
+  [[nodiscard]] std::map<rt::TaskId, std::string> abnormal_terminations() const;
+
   /// Events observed per PE — a cheap activity profile across the machine.
   [[nodiscard]] std::map<int, std::uint64_t> pe_activity() const;
 

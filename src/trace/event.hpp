@@ -10,7 +10,8 @@
 
 namespace pisces::trace {
 
-/// The eight traceable event types of Section 12.
+/// The eight traceable event types of Section 12, extended with the fault
+/// and recovery events introduced by the fault-injection subsystem.
 enum class EventKind : int {
   task_init = 0,
   task_term = 1,
@@ -20,9 +21,12 @@ enum class EventKind : int {
   unlock = 5,
   barrier_enter = 6,
   force_split = 7,
+  dead_letter = 8,  ///< message dropped: destination dead or storage denied
+  fault = 9,        ///< injected fault fired (pe-halt, bus-*, heap, disk)
+  child_term = 10,  ///< abnormal termination reported to the parent
 };
 
-inline constexpr int kEventKindCount = 8;
+inline constexpr int kEventKindCount = 11;
 
 [[nodiscard]] constexpr std::string_view kind_name(EventKind k) {
   switch (k) {
@@ -34,6 +38,9 @@ inline constexpr int kEventKindCount = 8;
     case EventKind::unlock: return "UNLOCK";
     case EventKind::barrier_enter: return "BARRIER";
     case EventKind::force_split: return "FORCE-SPLIT";
+    case EventKind::dead_letter: return "DEAD-LETTER";
+    case EventKind::fault: return "FAULT";
+    case EventKind::child_term: return "CHILD-TERM";
   }
   return "?";
 }

@@ -1,0 +1,366 @@
+// Chaos harness for the fault-injection subsystem: sweeps seeds x fault
+// mixes over a master/worker workload and checks the recovery invariants
+// the paper's run-time must hold — no shared-heap leak after teardown, no
+// task stuck past the deadline, dead-letter/kill counters consistent with
+// the trace, bit-identical trajectories for identical seeds, and degraded
+// (not hung) completion when a PE halts under a placement workload.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/runtime.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/sink.hpp"
+
+namespace pisces::rt {
+namespace {
+
+/// Everything observable about one chaos run, comparable as one tuple so
+/// "identical seeds replay identically" is a single EXPECT_EQ.
+struct RunResult {
+  sim::Tick end_tick = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_accepted = 0;
+  std::uint64_t dead_letters = 0;
+  std::uint64_t dead_letter_traces = 0;
+  std::uint64_t tasks_started = 0;
+  std::uint64_t tasks_finished = 0;
+  std::uint64_t tasks_killed = 0;
+  std::uint64_t childterms_posted = 0;
+  flex::FaultStats faults;
+  std::size_t heap_in_use = 0;
+  bool timed_out = false;
+  int results_received = 0;
+  int childterms_seen = 0;  ///< _CHILDTERM messages the master consumed
+  std::map<TaskId, std::string> abnormal;  ///< from the trace analyzer
+
+  [[nodiscard]] auto key() const {
+    return std::tuple(end_tick, events_fired, messages_sent, messages_accepted,
+                      dead_letters, tasks_started, tasks_finished, tasks_killed,
+                      childterms_posted, faults.pe_halts, faults.bus_lost,
+                      faults.bus_duplicated, faults.bus_delayed,
+                      faults.heap_denials, results_received, childterms_seen);
+  }
+};
+
+constexpr int kWorkers = 6;
+constexpr int kRounds = 2;
+
+/// Master/worker placement workload under a fault plan. Every wait is
+/// bounded, so the run finishes degraded (fewer results) rather than
+/// hanging when faults eat tasks or messages.
+RunResult run_chaos(const flex::FaultPlan& plan) {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(3);
+  for (auto& cl : cfg.clusters) cl.slots = 6;
+  cfg.faults = plan;
+  cfg.time_limit = 80'000'000;
+  cfg.trace.set(trace::EventKind::child_term, true);  // boot applies cfg.trace
+  Runtime rt(sys, std::move(cfg));
+  trace::MemorySink sink;
+  rt.tracer().add_sink(&sink);
+
+  RunResult out;
+  rt.register_tasktype("worker", [](TaskContext& ctx) {
+    ctx.on_message("work", [](TaskContext& c, const Message& m) {
+      // Each work item is expensive (~1M ticks) so workers stay alive long
+      // enough for mid-run faults to land on live tasks.
+      c.compute(1'000'000 + 1'000 * m.args.at(0).as_int());
+      c.send(Dest::Sender(), "result", {m.args.at(0)});
+    });
+    ctx.send(Dest::Parent(), "hello", {Value(ctx.self())});
+    ctx.accept(AcceptSpec{}.of("work", kRounds).delay_for(20'000'000));
+  });
+  rt.register_tasktype("master", [&out](TaskContext& ctx) {
+    std::vector<TaskId> kids;
+    ctx.on_message("hello", [&kids](TaskContext&, const Message& m) {
+      kids.push_back(m.args.at(0).as_taskid());
+    });
+    ctx.on_message("_CHILDTERM",
+                   [&out](TaskContext&, const Message&) { ++out.childterms_seen; });
+    ctx.on_message("result",
+                   [&out](TaskContext&, const Message&) { ++out.results_received; });
+    for (int i = 0; i < kWorkers; ++i) ctx.initiate(Where::Any(), "worker");
+    ctx.accept(AcceptSpec{}.of("hello", kWorkers).all_of("_CHILDTERM")
+                   .delay_for(10'000'000));
+    for (int round = 0; round < kRounds; ++round) {
+      int sent = 0;
+      for (const TaskId& k : kids) {
+        if (ctx.send(Dest::To(k), "work", {Value(round)})) ++sent;
+      }
+      if (sent > 0) {
+        ctx.accept(AcceptSpec{}.of("result", sent).all_of("_CHILDTERM")
+                       .delay_for(10'000'000));
+      }
+    }
+  });
+  rt.boot();
+  rt.user_initiate(1, "master");
+  out.end_tick = rt.run();
+  out.events_fired = eng.events_fired();
+  const RuntimeStats& st = rt.stats();
+  out.messages_sent = st.messages_sent;
+  out.messages_accepted = st.messages_accepted;
+  out.dead_letters = st.dead_letters;
+  out.dead_letter_traces = rt.tracer().count(trace::EventKind::dead_letter);
+  out.tasks_started = st.tasks_started;
+  out.tasks_finished = st.tasks_finished;
+  out.tasks_killed = st.tasks_killed;
+  out.childterms_posted = st.childterms_posted;
+  if (const auto* fi = rt.fault_injector()) out.faults = fi->stats();
+  out.heap_in_use = rt.message_heap().in_use();
+  out.timed_out = rt.timed_out();
+  out.abnormal = trace::Analyzer(sink.records()).abnormal_terminations();
+  return out;
+}
+
+flex::FaultPlan clean_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  return p;
+}
+
+flex::FaultPlan pe_halt_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  p.pe_halts.push_back({4, 2'500'000});  // cluster 2's primary
+  return p;
+}
+
+flex::FaultPlan bus_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  p.bus_loss = 0.05;
+  p.bus_duplication = 0.05;
+  p.bus_delay_probability = 0.10;
+  p.bus_delay_ticks = 40'000;
+  return p;
+}
+
+flex::FaultPlan heap_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  p.heap_outages.push_back({1'500'000, 2'000'000});
+  return p;
+}
+
+flex::FaultPlan combo_mix(std::uint64_t seed) {
+  flex::FaultPlan p = bus_mix(seed);
+  p.pe_halts.push_back({5, 3'000'000});  // cluster 3's primary
+  p.heap_outages.push_back({1'500'000, 1'900'000});
+  return p;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, InvariantsHoldAcrossFaultMixes) {
+  const std::uint64_t seed = GetParam();
+  const flex::FaultPlan mixes[] = {clean_mix(seed), pe_halt_mix(seed),
+                                   bus_mix(seed), heap_mix(seed),
+                                   combo_mix(seed)};
+  for (const auto& plan : mixes) {
+    SCOPED_TRACE("seed=" + std::to_string(plan.seed) +
+                 " halts=" + std::to_string(plan.pe_halts.size()) +
+                 " bus_loss=" + std::to_string(plan.bus_loss) +
+                 " outages=" + std::to_string(plan.heap_outages.size()));
+    const RunResult r = run_chaos(plan);
+    // Nothing may hang: all waits are bounded, so the run quiesces before
+    // the configured time limit.
+    EXPECT_FALSE(r.timed_out);
+    // No SharedHeap leak after teardown: every queued message's storage was
+    // either accepted or reclaimed by the kill path / controller drain.
+    EXPECT_EQ(r.heap_in_use, 0u);
+    // Counter consistency: every dead letter counted was traced, every
+    // started task either finished (kills route through finish too).
+    EXPECT_EQ(r.dead_letters, r.dead_letter_traces);
+    EXPECT_EQ(r.tasks_started, r.tasks_finished);
+    // Every abnormally terminated child shows up in the trace, and the
+    // parent was notified for each one that still had a live parent.
+    EXPECT_EQ(r.abnormal.size(), r.tasks_killed);
+    EXPECT_LE(r.childterms_posted, r.tasks_killed);
+    if (plan.pe_halts.empty()) {
+      EXPECT_EQ(r.tasks_killed, 0u);
+      EXPECT_EQ(r.faults.pe_halts, 0u);
+    } else {
+      EXPECT_EQ(r.faults.pe_halts, plan.pe_halts.size());
+    }
+    if (!plan.any()) {
+      // Fault-free runs are untouched by the subsystem: full results.
+      EXPECT_EQ(r.results_received, kWorkers * kRounds);
+      EXPECT_EQ(r.dead_letters, 0u);
+    }
+  }
+}
+
+TEST_P(ChaosSweep, IdenticalSeedsReplayBitIdentically) {
+  const std::uint64_t seed = GetParam();
+  const RunResult a = run_chaos(combo_mix(seed));
+  const RunResult b = run_chaos(combo_mix(seed));
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_EQ(a.abnormal, b.abnormal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(1u, 42u, 31337u));
+
+TEST(Chaos, ParentIsNotifiedForEveryHaltedChild) {
+  const RunResult r = run_chaos(pe_halt_mix(7));
+  // Cluster 2's primary hosted live workers when it halted. Controllers die
+  // too but have no parent; every killed *user* task (slot >= kFirstUserSlot)
+  // has the master as parent and a _CHILDTERM must observably reach it.
+  std::uint64_t killed_user_tasks = 0;
+  for (const auto& [task, reason] : r.abnormal) {
+    EXPECT_EQ(reason, "pe-halt") << task.str();
+    if (task.slot >= kFirstUserSlot) ++killed_user_tasks;
+  }
+  ASSERT_GT(killed_user_tasks, 0u);
+  EXPECT_EQ(r.abnormal.size(), r.tasks_killed);
+  EXPECT_EQ(r.childterms_posted, killed_user_tasks);
+  EXPECT_EQ(static_cast<std::uint64_t>(r.childterms_seen), killed_user_tasks);
+  // Degraded, not hung: the run still drained without hitting the limit.
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_LT(r.results_received, kWorkers * kRounds);
+}
+
+TEST(Chaos, HaltedPeIsSkippedByPlacementAndRunCompletes) {
+  // E4-style placement workload: one cluster spreading jobs over secondary
+  // PEs with least_loaded; one secondary halts mid-run. The run must
+  // complete degraded — jobs in flight on the dead PE are reaped, new jobs
+  // land only on usable PEs.
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.clusters[0].slots = 12;
+  cfg.clusters[0].secondary_pes = {6, 7, 8};
+  cfg.clusters[0].place = config::PlacePolicy::least_loaded;
+  cfg.faults.pe_halts.push_back({7, 2'000'000});
+  cfg.time_limit = 120'000'000;
+  Runtime rt(sys, std::move(cfg));
+  std::set<int> pes_after_halt;
+  int done = 0;
+  rt.register_tasktype("job", [&](TaskContext& ctx) {
+    if (ctx.runtime().engine().now() > 2'000'000) {
+      pes_after_halt.insert(ctx.proc().pe());
+    }
+    ctx.compute(400'000);
+    ctx.send(Dest::Parent(), "fin");
+    ++done;
+  });
+  rt.register_tasktype("master", [&](TaskContext& ctx) {
+    ctx.on_message("_CHILDTERM", [](TaskContext&, const Message&) {});
+    int finished = 0;
+    ctx.on_message("fin", [&finished](TaskContext&, const Message&) { ++finished; });
+    for (int i = 0; i < 24; ++i) {
+      ctx.initiate(Where::Same(), "job");
+      // Trickle so placement keeps happening after the halt.
+      ctx.accept(AcceptSpec{}.all_of("fin").all_of("_CHILDTERM"));
+      ctx.compute(200'000);
+    }
+    while (finished + static_cast<int>(ctx.runtime().stats().tasks_killed) < 24) {
+      const AcceptResult res = ctx.accept(AcceptSpec{}.of("fin").all_of("_CHILDTERM")
+                                              .delay_for(10'000'000));
+      if (res.timed_out) break;
+    }
+  });
+  rt.boot();
+  rt.user_initiate(1, "master");
+  rt.run();
+  EXPECT_FALSE(rt.timed_out());
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(pes_after_halt.count(7), 0u);  // dead PE never chosen again
+  EXPECT_GT(rt.stats().tasks_killed, 0u);  // something was on PE 7
+  EXPECT_EQ(rt.message_heap().in_use(), 0u);
+}
+
+TEST(Chaos, DeadClusterIsSkippedByAnyPlacement) {
+  const RunResult r = run_chaos(pe_halt_mix(3));
+  // After cluster 2 died the master's remaining traffic still flowed; the
+  // run drained and the dead cluster's held work was counted, not leaked.
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.heap_in_use, 0u);
+}
+
+TEST(Chaos, HeapOutageDeniesThenRecovers) {
+  // A long outage window overlapping the workload's message burst: senders
+  // back off and retry; the run still completes with zero residue.
+  flex::FaultPlan p;
+  p.seed = 9;
+  p.heap_outages.push_back({1'000'000, 4'000'000});
+  const RunResult r = run_chaos(p);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.heap_in_use, 0u);
+  EXPECT_GT(r.faults.heap_denials, 0u);
+}
+
+TEST(Chaos, DiskErrorsRetryThenSurfaceAsTypedWindowError) {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.faults.seed = 5;
+  cfg.faults.disk_error = 1.0;  // every pass fails: retries must exhaust
+  Runtime rt(sys, std::move(cfg));
+  fsim::FileStore store;
+  store.create("DATA", 8, 8, 1.0);
+  rt.attach_file_store(1, std::move(store), 1);
+  std::string error_text;
+  rt.register_tasktype("reader", [&](TaskContext& ctx) {
+    Window w = ctx.file_window(1, "DATA");  // _FWIN does not touch the disk
+    try {
+      (void)ctx.window_read(w);
+      ADD_FAILURE() << "read should have failed";
+    } catch (const WindowError& e) {
+      error_text = e.what();
+    }
+  });
+  rt.boot();
+  rt.user_initiate(1, "reader");
+  rt.run();
+  EXPECT_NE(error_text.find("disk I/O error"), std::string::npos) << error_text;
+  ASSERT_NE(rt.fault_injector(), nullptr);
+  EXPECT_GT(rt.fault_injector()->stats().disk_errors, 0u);
+  EXPECT_GT(machine.disk(1).io_errors(), 0u);
+  EXPECT_EQ(rt.message_heap().in_use(), 0u);
+}
+
+TEST(Chaos, DiskErrorRetriesAreInvisibleWhenTheyRecover) {
+  // With a moderate error rate most requests succeed on a retry pass; the
+  // caller sees only longer latency, never an exception.
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.faults.seed = 11;
+  cfg.faults.disk_error = 0.4;
+  Runtime rt(sys, std::move(cfg));
+  fsim::FileStore store;
+  store.create("DATA", 16, 16, 2.0);
+  rt.attach_file_store(1, std::move(store), 1);
+  int ok = 0;
+  int failed = 0;
+  rt.register_tasktype("reader", [&](TaskContext& ctx) {
+    Window w = ctx.file_window(1, "DATA");
+    for (int i = 0; i < 12; ++i) {
+      try {
+        Matrix m = ctx.window_read(w);
+        if (m.rows() == 16) ++ok;
+      } catch (const WindowError&) {
+        ++failed;  // all three passes failed: legitimate, just unlikely
+      }
+    }
+  });
+  rt.boot();
+  rt.user_initiate(1, "reader");
+  rt.run();
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(rt.fault_injector()->stats().disk_errors, 0u);
+  EXPECT_EQ(ok + failed, 12);
+}
+
+}  // namespace
+}  // namespace pisces::rt

@@ -223,5 +223,103 @@ TEST(Menu, PlaceCommandSetsThePolicy) {
   EXPECT_NE(out.str().find("unknown placement policy"), std::string::npos);
 }
 
+TEST(Persistence, FaultPlanRoundTripsBitExactly) {
+  auto cfg = Configuration::simple(2);
+  cfg.faults.seed = 0xdeadbeef;
+  cfg.faults.pe_halts.push_back({4, 2'500'000});
+  cfg.faults.pe_halts.push_back({5, 7'000'000});
+  cfg.faults.bus_loss = 0.1;  // not exactly representable: needs max_digits10
+  cfg.faults.bus_duplication = 0.05;
+  cfg.faults.bus_delay_probability = 0.25;
+  cfg.faults.bus_delay_ticks = 40'000;
+  cfg.faults.heap_outages.push_back({1'000'000, 2'000'000});
+  cfg.faults.disk_error = 0.3;
+  std::stringstream ss;
+  cfg.save(ss);
+  Configuration back = Configuration::load(ss);
+  EXPECT_EQ(back.faults.seed, cfg.faults.seed);
+  ASSERT_EQ(back.faults.pe_halts.size(), 2u);
+  EXPECT_EQ(back.faults.pe_halts[1].pe, 5);
+  EXPECT_EQ(back.faults.pe_halts[1].at, 7'000'000);
+  // Bit-exact probabilities: the same file replays the same trajectory.
+  EXPECT_EQ(back.faults.bus_loss, cfg.faults.bus_loss);
+  EXPECT_EQ(back.faults.bus_duplication, cfg.faults.bus_duplication);
+  EXPECT_EQ(back.faults.bus_delay_probability, cfg.faults.bus_delay_probability);
+  EXPECT_EQ(back.faults.bus_delay_ticks, 40'000);
+  ASSERT_EQ(back.faults.heap_outages.size(), 1u);
+  EXPECT_EQ(back.faults.heap_outages[0].from, 1'000'000);
+  EXPECT_EQ(back.faults.heap_outages[0].until, 2'000'000);
+  EXPECT_EQ(back.faults.disk_error, cfg.faults.disk_error);
+  EXPECT_TRUE(back.validate(nasa_spec()).empty());
+}
+
+TEST(Persistence, FaultFreeConfigurationsStayByteCompatible) {
+  auto cfg = Configuration::simple(1);
+  std::stringstream ss;
+  cfg.save(ss);
+  // No fault-* tokens appear unless faults are configured, so pre-fault
+  // readers (and the seed's saved files) parse the output unchanged.
+  EXPECT_EQ(ss.str().find("fault-"), std::string::npos);
+  Configuration back = Configuration::load(ss);
+  EXPECT_FALSE(back.faults.any());
+}
+
+TEST(Validation, RejectsMalformedFaultPlans) {
+  auto expect_rejected = [](const char* what,
+                            const std::function<void(Configuration&)>& poke) {
+    auto cfg = Configuration::simple(1);
+    poke(cfg);
+    EXPECT_FALSE(cfg.validate(flex::MachineSpec{}).empty()) << what;
+  };
+  expect_rejected("halt on Unix PE",
+                  [](Configuration& c) { c.faults.pe_halts.push_back({1, 0}); });
+  expect_rejected("halt beyond the machine",
+                  [](Configuration& c) { c.faults.pe_halts.push_back({99, 0}); });
+  expect_rejected("negative halt tick",
+                  [](Configuration& c) { c.faults.pe_halts.push_back({4, -1}); });
+  expect_rejected("probability above one",
+                  [](Configuration& c) { c.faults.bus_loss = 1.5; });
+  expect_rejected("probabilities summing above one", [](Configuration& c) {
+    c.faults.bus_loss = 0.6;
+    c.faults.bus_duplication = 0.6;
+  });
+  expect_rejected("empty heap outage window", [](Configuration& c) {
+    c.faults.heap_outages.push_back({500, 500});
+  });
+  expect_rejected("overlapping heap outage windows", [](Configuration& c) {
+    c.faults.heap_outages.push_back({0, 1000});
+    c.faults.heap_outages.push_back({500, 2000});
+  });
+  expect_rejected("disk error probability below zero",
+                  [](Configuration& c) { c.faults.disk_error = -0.1; });
+}
+
+TEST(Menu, FaultCommandBuildsAndClearsThePlan) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  menu.apply("fault seed 77", out);
+  menu.apply("fault halt 4 2500000", out);
+  menu.apply("fault bus 0.1 0.05 0.2 40000", out);
+  menu.apply("fault heap 1000000 2000000", out);
+  menu.apply("fault disk 0.3", out);
+  const auto& p = menu.current().faults;
+  EXPECT_EQ(p.seed, 77u);
+  ASSERT_EQ(p.pe_halts.size(), 1u);
+  EXPECT_EQ(p.pe_halts[0].pe, 4);
+  EXPECT_EQ(p.pe_halts[0].at, 2'500'000);
+  EXPECT_DOUBLE_EQ(p.bus_loss, 0.1);
+  EXPECT_DOUBLE_EQ(p.bus_duplication, 0.05);
+  EXPECT_DOUBLE_EQ(p.bus_delay_probability, 0.2);
+  EXPECT_EQ(p.bus_delay_ticks, 40'000);
+  ASSERT_EQ(p.heap_outages.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.disk_error, 0.3);
+  EXPECT_TRUE(p.any());
+  menu.apply("fault clear", out);
+  EXPECT_FALSE(menu.current().faults.any());
+  EXPECT_EQ(menu.current().faults.seed, 1u);
+  menu.apply("fault", out);
+  EXPECT_NE(out.str().find("usage: fault"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pisces::config

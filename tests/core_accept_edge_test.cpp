@@ -150,6 +150,69 @@ TEST(AcceptEdge, SenderOfBroadcastIsVisibleToReceivers) {
   EXPECT_EQ(seen_sender, main_id);
 }
 
+TEST(AcceptEdge, NullOnDelayYieldsSystemTimeoutMessage) {
+  // DELAY with no THEN body: the system synthesizes a _TIMEOUT entry in the
+  // result instead of running a callback ("a system-generated message type
+  // is sent after the delay period expires", Section 6).
+  Fixture f;
+  run_main_task(f, [&](TaskContext& ctx) {
+    auto res = ctx.accept(AcceptSpec{}.of("never").delay_for(100'000));
+    EXPECT_TRUE(res.timed_out);
+    EXPECT_EQ(res.count(kTimeoutType), 1);
+    EXPECT_EQ(res.count("never"), 0);
+  });
+  // With an on_delay body the callback runs and no _TIMEOUT is synthesized.
+  Fixture g;
+  bool delayed = false;
+  run_main_task(g, [&](TaskContext& ctx) {
+    auto res = ctx.accept(
+        AcceptSpec{}.of("never").delay_for(100'000, [&] { delayed = true; }));
+    EXPECT_TRUE(res.timed_out);
+    EXPECT_EQ(res.count(kTimeoutType), 0);
+  });
+  EXPECT_TRUE(delayed);
+}
+
+TEST(AcceptEdge, ForeverWaitIsInterruptibleByKill) {
+  // A no_timeout ACCEPT never times out on its own; the only way out is a
+  // kill, which must unwind the waiter cleanly (slot freed, heap drained).
+  Fixture f;
+  TaskId victim;
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    victim = ctx.self();
+    ctx.accept(AcceptSpec{}.of("never").forever());
+    ADD_FAILURE() << "forever accept returned without a message";
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run_for(3'000'000);
+  ASSERT_TRUE(victim.valid());
+  ASSERT_TRUE(f->kill_task(victim));
+  f->run();
+  EXPECT_EQ(f->find_record(victim), nullptr);
+  EXPECT_EQ(f->stats().tasks_killed, 1u);
+  EXPECT_EQ(f->stats().accept_timeouts, 0u);
+  EXPECT_EQ(f->message_heap().in_use(), 0u);
+}
+
+TEST(AcceptEdge, UnsetDelayUsesTheSystemDefault) {
+  // No delay_for, no forever: the configuration's accept_default_timeout
+  // applies, and that default is pinned to kDefaultAcceptDelayTicks.
+  Fixture f;
+  EXPECT_EQ(f->configuration().accept_default_timeout, kDefaultAcceptDelayTicks);
+  sim::Tick waited = 0;
+  run_main_task(f, [&](TaskContext& ctx) {
+    const sim::Tick start = f.eng.now();
+    auto res = ctx.accept(AcceptSpec{}.of("never"));
+    waited = f.eng.now() - start;
+    EXPECT_TRUE(res.timed_out);
+  });
+  // Exact to within the redispatch cost after the timeout wake.
+  EXPECT_GE(waited, kDefaultAcceptDelayTicks);
+  EXPECT_LE(waited, kDefaultAcceptDelayTicks + f.machine.costs().context_switch);
+  EXPECT_EQ(f->stats().accept_timeouts, 1u);
+}
+
 TEST(TraceEdge, PerTaskOverrideFiltersARealRun) {
   config::Configuration cfg = config::Configuration::simple(1);
   cfg.trace.set(trace::EventKind::msg_send, true);

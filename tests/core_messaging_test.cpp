@@ -344,6 +344,11 @@ TEST(Messages, StaleTaskIdIsDeadLetter) {
   f->run();
   EXPECT_FALSE(sent_ok);
   EXPECT_GE(f->stats().dead_letters, 1u);
+  // Dead letters are observable, not just counted: every one is traced
+  // (the tracer counts all kinds even with output filtering off), and the
+  // organization display surfaces the running total.
+  EXPECT_EQ(f->tracer().count(trace::EventKind::dead_letter),
+            f->stats().dead_letters);
 }
 
 TEST(Messages, BroadcastToClusterAndEverywhere) {

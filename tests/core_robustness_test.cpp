@@ -103,6 +103,59 @@ TEST(Kill, WhileWaitingForWindowReply) {
   EXPECT_EQ(f->message_heap().in_use(), 0u);  // reply freed with the record
 }
 
+TEST(Kill, QueuedMessageStorageIsReclaimed) {
+  // Regression guard for the kill path: a task killed with unaccepted
+  // messages in its queue must return their SharedHeap storage, so the
+  // heap drains back to its empty baseline once the run winds down.
+  Fixture f;
+  TaskId victim;
+  f->register_tasktype("sink", [&](TaskContext& ctx) {
+    victim = ctx.self();
+    ctx.send(Dest::Parent(), "ready");
+    ctx.accept(AcceptSpec{}.of("never").forever());
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.initiate(Where::Same(), "sink");
+    ctx.accept(AcceptSpec{}.of("ready").forever());
+    for (int i = 0; i < 4; ++i) {
+      ctx.send(Dest::To(ctx.sender()), "junk",
+               {Value(std::vector<double>(64, 1.0))});
+    }
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run_for(5'000'000);
+  ASSERT_TRUE(victim.valid());
+  EXPECT_GT(f->message_heap().in_use(), 0u);  // queued junk holds storage
+  ASSERT_TRUE(f->kill_task(victim));
+  f->run();
+  EXPECT_EQ(f->find_record(victim), nullptr);
+  EXPECT_EQ(f->message_heap().in_use(), 0u);  // back to baseline
+}
+
+TEST(Kill, TypedResultDistinguishesStaleFromProtected) {
+  Fixture f;
+  TaskId victim;
+  f->register_tasktype("idle", [&](TaskContext& ctx) {
+    victim = ctx.self();
+    ctx.accept(AcceptSpec{}.of("never").forever());
+  });
+  f->boot();
+  f->user_initiate(1, "idle");
+  f->run_for(2'000'000);
+  ASSERT_TRUE(victim.valid());
+  EXPECT_EQ(f->try_kill_task(f->cluster(1).controller_id()),
+            KillResult::protected_controller);
+  EXPECT_EQ(f->try_kill_task(victim), KillResult::killed);
+  f->run();
+  EXPECT_EQ(f->try_kill_task(victim), KillResult::not_found);
+  EXPECT_EQ(f->try_kill_task(TaskId{}), KillResult::not_found);
+  EXPECT_STREQ(kill_result_name(KillResult::killed), "killed");
+  EXPECT_STREQ(kill_result_name(KillResult::not_found), "not-found");
+  EXPECT_STREQ(kill_result_name(KillResult::protected_controller),
+               "protected-controller");
+}
+
 TEST(Messages, DeclaredArityIsEnforced) {
   Fixture f;
   f->declare_message("rows", 2);

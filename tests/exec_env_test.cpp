@@ -159,6 +159,7 @@ TEST(ExecEnv, OrganizationRenderingMatchesFigure1Structure) {
   EXPECT_NE(s.find("<not in use>"), std::string::npos);
   EXPECT_NE(s.find("force PEs: 7 8 9 10 11 12 13 14 15"), std::string::npos);
   EXPECT_NE(s.find("message-passing network"), std::string::npos);
+  EXPECT_NE(s.find("dead-letters: 0"), std::string::npos);
 }
 
 }  // namespace
