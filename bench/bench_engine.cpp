@@ -16,6 +16,7 @@
 #include <sstream>
 
 #include "common.hpp"
+#include "flex/fault.hpp"
 #include "sim/event_queue.hpp"
 
 using namespace pisces;
@@ -288,6 +289,44 @@ void event_queue_table(JsonReport& report) {
   note("Same-tick wakes skip push_heap/pop_heap churn against the backlog.");
 }
 
+/// Host-side cost of the per-transfer fault draw. Runtime::post() draws one
+/// verdict for every bus transfer even when the plan injects nothing, so this
+/// is a fixed host-side tax on the messaging hot path — measured here for
+/// both the quiet plan (the common case) and an active mixed plan.
+double fault_draw_ns(const flex::FaultPlan& plan, int draws) {
+  flex::FaultInjector inj(plan);
+  std::uint64_t acc = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < draws; ++i) {
+    acc += static_cast<std::uint64_t>(inj.next_bus_fault());
+  }
+  benchmark::DoNotOptimize(acc);
+  return elapsed_ns(start) / draws;
+}
+
+void fault_rng_table(JsonReport& report) {
+  banner("E7e: per-transfer fault Rng draw overhead (host ns/draw)");
+  Table t({"plan", "ns/draw"});
+  report.begin_section("fault_rng_overhead");
+  constexpr int kDraws = 2'000'000;
+  flex::FaultPlan quiet;
+  flex::FaultPlan mixed;
+  mixed.bus_loss = 0.01;
+  mixed.bus_duplication = 0.01;
+  mixed.bus_delay_probability = 0.01;
+  const double quiet_ns = fault_draw_ns(quiet, kDraws);
+  const double mixed_ns = fault_draw_ns(mixed, kDraws);
+  t.row("quiet (no bus faults)", quiet_ns);
+  t.row("mixed (1% lose/dup/delay)", mixed_ns);
+  report.body << "{\"plan\": \"quiet\", \"ns_per_draw\": " << quiet_ns
+              << "}, {\"plan\": \"mixed_1pct\", \"ns_per_draw\": " << mixed_ns
+              << "}";
+  report.end_section();
+  note("one uniform draw per transfer keeps the stream position a pure\n"
+       "function of the transfer count (replay determinism); the quiet-plan\n"
+       "number is the fixed host tax every message send pays for it.");
+}
+
 // ---- google-benchmark micros over the same code paths -------------------
 
 void BM_SwitchFibers(benchmark::State& state) {
@@ -341,6 +380,7 @@ int main(int argc, char** argv) {
   switch_table(report);
   end_to_end_table(report);
   event_queue_table(report);
+  fault_rng_table(report);
   report.write(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -85,6 +85,7 @@ std::vector<std::string> Configuration::validate(const flex::MachineSpec& spec) 
     err("no cluster has a terminal (user controller)");
   }
   if (time_limit <= 0) err("time limit must be positive");
+  if (collective_fanout < 2) err("collective fan-out must be at least 2");
   if (message_heap_bytes < 4096) err("message heap under 4 KB is unusable");
   if (message_heap_bytes > spec.shared_memory_bytes) {
     err("message heap exceeds shared memory");
@@ -110,6 +111,9 @@ void Configuration::save(std::ostream& os) const {
     os << " secondaries";
     for (int pe : c.secondary_pes) os << " " << pe;
     os << "\n";
+  }
+  if (collective_fanout != 4) {
+    os << "collective-fanout " << collective_fanout << "\n";
   }
   os << "trace";
   for (int k = 0; k < trace::kEventKindCount; ++k) {
@@ -195,6 +199,8 @@ Configuration Configuration::load(std::istream& is) {
         }
       }
       cfg.clusters.push_back(std::move(c));
+    } else if (key == "collective-fanout") {
+      ls >> cfg.collective_fanout;
     } else if (key == "trace") {
       // Older files carry fewer flags; extraction failure leaves `on` zero,
       // so kinds the file predates simply load as off.

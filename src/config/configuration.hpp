@@ -70,6 +70,10 @@ struct Configuration {
   mmos::Loadfile loadfile;
   TraceSettings trace;
   flex::FaultPlan faults;  ///< deterministic fault-injection plan (empty = none)
+  /// Fan-out `k` of the collective trees (TO ALL distribution, force
+  /// barrier/reduce). Each tree node forwards to at most `k` children, so a
+  /// collective over n parties costs O(log_k n) charged hops.
+  int collective_fanout = 4;
 
   [[nodiscard]] const ClusterConfig* find_cluster(int number) const;
   [[nodiscard]] int cluster_count() const { return static_cast<int>(clusters.size()); }

@@ -106,6 +106,10 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
     is >> cfg_.time_limit;
   } else if (cmd == "heap") {
     is >> cfg_.message_heap_bytes;
+  } else if (cmd == "fanout") {
+    int k = 0;
+    if (is >> k && k >= 2) cfg_.collective_fanout = k;
+    else out << "usage: fanout <k>  (k >= 2)\n";
   } else if (cmd == "trace") {
     std::string kind;
     std::string setting;

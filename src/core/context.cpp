@@ -56,11 +56,12 @@ bool TaskContext::send(Dest dest, std::string type, std::vector<Value> args) {
 
 int TaskContext::broadcast(std::string type, std::vector<Value> args,
                            std::optional<int> cluster_number) {
-  // Snapshot the target taskids before the first send: each post can block
-  // on a full message heap, during which slots may empty and be reused by
-  // new tasks. Iterating the live slot table across those blocks would skip
-  // some tasks and deliver to ones initiated *after* the broadcast began.
-  // Targets that die while we block become dead letters in post().
+  // Snapshot the target taskids before the first send: the root's own posts
+  // can block on a full message heap, during which slots may empty and be
+  // reused by new tasks. Iterating the live slot table across those blocks
+  // would skip some tasks and deliver to ones initiated *after* the
+  // broadcast began. Targets that die before their copy is dispatched (or
+  // while it is in flight) become dead letters in post()/deliver().
   std::vector<TaskId> targets;
   for (const auto& cl : rt_->clusters_) {
     if (cluster_number.has_value() && cl->cfg.number != *cluster_number) continue;
@@ -70,13 +71,40 @@ int TaskContext::broadcast(std::string type, std::vector<Value> args,
       targets.push_back(r.id);
     }
   }
-  int delivered = 0;
-  for (const TaskId& to : targets) {
-    proc_->compute(rt_->costs().msg_send_overhead);
-    if (rt_->post(self(), proc_, to, type, args)) ++delivered;
+  const auto n = static_cast<int>(targets.size());
+  if (n == 0) return 0;
+
+  // Distribute over a k-ary tree: the sender posts only to positions
+  // 1..min(k, n); each of those re-forwards to its own children as engine
+  // events from the PE the copy reached, so the root pays O(k) sends and
+  // completion takes O(log_k n) relay hops instead of n serialized sends.
+  const int k = rt_->cfg_.collective_fanout < 2 ? 2 : rt_->cfg_.collective_fanout;
+  int depth = 0;
+  for (std::uint64_t covered = 0, width = static_cast<std::uint64_t>(k);
+       covered < static_cast<std::uint64_t>(n); width *= static_cast<std::uint64_t>(k)) {
+    covered += width;
+    ++depth;
   }
-  rt_->stats_.broadcast_copies += static_cast<std::uint64_t>(delivered);
-  return delivered;
+  proc_->compute(rt_->costs().msg_send_overhead);
+  rt_->trace_event(trace::EventKind::collective, self(), {}, proc_->pe(), 0,
+                   "bcast targets=" + std::to_string(n) + " k=" +
+                       std::to_string(k) + " depth=" + std::to_string(depth));
+
+  auto plan = std::make_shared<Runtime::BroadcastPlan>();
+  plan->origin = self();
+  plan->type = std::move(type);
+  plan->args = std::move(args);
+  plan->targets = std::move(targets);
+  plan->fanout = k;
+  const auto root_children = std::min<std::size_t>(
+      static_cast<std::size_t>(k), plan->targets.size());
+  for (std::size_t pos = 1; pos <= root_children; ++pos) {
+    rt_->dispatch_broadcast_copy(plan, pos, proc_);
+  }
+  // The whole snapshot is now committed to the tree; copies past the first
+  // level are in flight. Per-copy outcomes land in broadcast_copies /
+  // dead_letters rather than the return value.
+  return n;
 }
 
 void TaskContext::print(const std::string& text) {
@@ -281,6 +309,9 @@ void TaskContext::forcesplit(const std::function<void(ForceContext&)>& region) {
   st->rec = rec_;
   st->procs.assign(static_cast<std::size_t>(n), nullptr);
   st->procs[0] = proc_;
+  st->fanout = rt_->cfg_.collective_fanout;
+  st->nodes.assign(static_cast<std::size_t>(n), ForceState::TreeNode{});
+  st->partial.assign(static_cast<std::size_t>(n), 0.0);
 
   std::vector<mmos::Proc*> members;
   for (int i = 2; i <= n; ++i) {

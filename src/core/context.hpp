@@ -64,7 +64,12 @@ class TaskContext {
   /// (the message is dropped; a dead-letter count is kept).
   bool send(Dest dest, std::string type, std::vector<Value> args = {});
   /// TO ALL [CLUSTER <n>] SEND: broadcast to every running user task (in
-  /// one cluster, or everywhere), excluding this task.
+  /// one cluster, or everywhere), excluding this task. Copies fan out over
+  /// a k-ary distribution tree (fan-out = Configuration::collective_fanout):
+  /// the sender posts the first tree level itself, interior targets relay
+  /// the rest. Returns the number of tasks in the broadcast snapshot — the
+  /// tree commits to all of them; per-copy outcomes show up in the
+  /// broadcast_copies and dead_letters statistics once delivery completes.
   int broadcast(std::string type, std::vector<Value> args = {},
                 std::optional<int> cluster = std::nullopt);
 

@@ -1,5 +1,6 @@
 #include "core/force.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/runtime.hpp"
@@ -82,13 +83,22 @@ void LockVar::hand_off() {
 // ---- ForceState ----
 
 ForceState::SelfschedLoop& ForceState::loop(std::size_t occurrence,
+                                            std::int64_t lo, std::int64_t hi,
+                                            std::int64_t step,
                                             std::int64_t total) {
   while (loops.size() <= occurrence) loops.push_back(nullptr);
   auto& slot = loops[occurrence];
   if (!slot) {
     slot = std::make_unique<SelfschedLoop>();
+    slot->lo = lo;
+    slot->hi = hi;
+    slot->step = step;
     slot->total = total;
-  } else if (slot->total != total) {
+  } else if (slot->total != total || slot->lo != lo || slot->hi != hi ||
+             slot->step != step) {
+    // Comparing totals alone would silently mispair two different source
+    // loops that happen to cover the same iteration count when members take
+    // divergent control paths; the bounds/step triple pins the call site.
     throw std::logic_error(
         "SELFSCHED loops diverged between force members (occurrence " +
         std::to_string(occurrence) + ")");
@@ -105,23 +115,102 @@ std::int64_t ForceContext::iteration_count(std::int64_t lo, std::int64_t hi,
   return lo < hi ? 0 : (lo - hi) / (-step) + 1;
 }
 
+namespace {
+double combine(ForceContext::ReduceOp op, double a, double b) {
+  switch (op) {
+    case ForceContext::ReduceOp::sum: return a + b;
+    case ForceContext::ReduceOp::min: return b < a ? b : a;
+    case ForceContext::ReduceOp::max: return b > a ? b : a;
+  }
+  return a;
+}
+}  // namespace
+
+double ForceContext::collective_sync(
+    const std::function<void(ForceContext&)>& body, const double* contribute,
+    ReduceOp op) {
+  const auto n = static_cast<std::size_t>(st_->members);
+  const auto k = static_cast<std::size_t>(st_->fanout < 2 ? 2 : st_->fanout);
+  const auto p = static_cast<std::size_t>(member_ - 1);
+  proc_->compute(rt_->costs().barrier_op);
+  const std::uint64_t my_gen = st_->barrier_generation;
+  if (contribute != nullptr) st_->partial[p] = *contribute;
+
+  // Gather: wait for this node's children, folding their partials in.
+  const std::size_t first_child = k * p + 1;
+  const std::size_t end_child = std::min(first_child + k, n);
+  const int nchildren = first_child < end_child
+                            ? static_cast<int>(end_child - first_child) : 0;
+  if (nchildren > 0) {
+    auto& node = st_->nodes[p];
+    node.gathering = true;
+    while (node.arrived < nchildren) proc_->block();
+    node.gathering = false;
+    if (contribute != nullptr) {
+      for (std::size_t c = first_child; c < end_child; ++c) {
+        st_->partial[p] = combine(op, st_->partial[p], st_->partial[c]);
+      }
+    }
+  }
+
+  if (p == 0) {
+    if (contribute != nullptr) st_->reduce_result = st_->partial[0];
+    if (body) body(*this);
+    if (n > 1) {
+      int depth = 0;
+      for (std::uint64_t covered = 1, width = static_cast<std::uint64_t>(k);
+           covered < static_cast<std::uint64_t>(n);
+           width *= static_cast<std::uint64_t>(k)) {
+        covered += width;
+        ++depth;
+      }
+      rt_->trace_event(
+          trace::EventKind::collective, rec_->id, {}, proc_->pe(), 0,
+          std::string(contribute != nullptr ? "reduce" : "barrier") +
+              " members=" + std::to_string(n) + " k=" + std::to_string(k) +
+              " depth=" + std::to_string(depth));
+    }
+    // Reset arrival counters BEFORE publishing the new generation: a member
+    // released below may re-enter the next collective immediately, and its
+    // first arrival signal must not be wiped by this episode's reset.
+    for (auto& node : st_->nodes) node.arrived = 0;
+    rt_->charge_shared(*proc_, 8);  // generation publish: the one global bus write
+    ++st_->barrier_generation;
+  } else {
+    // Signal the parent's locally-polled arrival counter. Wake the parent
+    // only when it is actually blocked gathering: an early arrival must not
+    // wake a parent blocked elsewhere (e.g. inside the region body).
+    const std::size_t parent = (p - 1) / k;
+    proc_->compute(rt_->costs().collective_signal);
+    ++st_->nodes[parent].arrived;
+    if (st_->nodes[parent].gathering) st_->procs[parent]->wake();
+    while (st_->barrier_generation == my_gen) proc_->block();
+  }
+
+  // Release wave: each node forwards the wake to its own children, so the
+  // critical path of an episode is O(depth) signals up plus O(depth) down.
+  for (std::size_t c = first_child; c < end_child; ++c) {
+    proc_->compute(rt_->costs().collective_signal);
+    st_->procs[c]->wake();
+  }
+  return contribute != nullptr ? st_->reduce_result : 0.0;
+}
+
 void ForceContext::barrier(const std::function<void(ForceContext&)>& body) {
   rt_->trace_event(trace::EventKind::barrier_enter, rec_->id, {}, proc_->pe(), 0,
                    "member=" + std::to_string(member_));
-  proc_->compute(rt_->costs().barrier_op);
-  rt_->charge_shared(*proc_, 8);  // arrival counter update
-  const std::uint64_t my_gen = st_->barrier_generation;
-  ++st_->barrier_arrived;
-  if (member_ == 1) {
-    while (st_->barrier_arrived < st_->members) proc_->block();
-    if (body) body(*this);
-    st_->barrier_arrived = 0;
-    ++st_->barrier_generation;
-    for (int i = 1; i < st_->members; ++i) st_->procs[static_cast<std::size_t>(i)]->wake();
-  } else {
-    if (st_->barrier_arrived == st_->members) st_->procs[0]->wake();
-    while (st_->barrier_generation == my_gen) proc_->block();
-  }
+  collective_sync(body, nullptr, ReduceOp::sum);
+}
+
+double ForceContext::allreduce(ReduceOp op, double value) {
+  return collective_sync(nullptr, &value, op);
+}
+
+double ForceContext::reduce(ReduceOp op, double value, SharedBlock& out,
+                            std::size_t idx) {
+  const double r = collective_sync(nullptr, &value, op);
+  if (member_ == 1) out.write(*proc_, idx, r);
+  return r;
 }
 
 void ForceContext::critical(LockVar& lock, const std::function<void()>& body) {
@@ -146,7 +235,7 @@ void ForceContext::presched(std::int64_t lo, std::int64_t hi, std::int64_t step,
 void ForceContext::selfsched(std::int64_t lo, std::int64_t hi, std::int64_t step,
                              const std::function<void(std::int64_t)>& body) {
   const std::int64_t m = iteration_count(lo, hi, step);
-  auto& loop = st_->loop(selfsched_seq_++, m);
+  auto& loop = st_->loop(selfsched_seq_++, lo, hi, step, m);
   while (true) {
     // Fetch-and-increment of the shared "next iteration" counter.
     proc_->compute(rt_->costs().lock_op);

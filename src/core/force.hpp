@@ -84,19 +84,34 @@ struct ForceState {
   TaskRecord* rec = nullptr;
   std::vector<mmos::Proc*> procs;  ///< index 0 = primary
 
-  // Central barrier.
-  int barrier_arrived = 0;
+  // Combining-tree collectives (barrier/reduce): members form a k-ary tree
+  // over member indices (member 1 at the root, node p's children are
+  // k*p+1..k*p+k). Arrivals are gathered per node in a locally-polled
+  // counter; only the root's generation publish crosses the global bus, so
+  // a collective charges O(log_k members) serialized hops.
+  int fanout = 4;
   std::uint64_t barrier_generation = 0;
+  struct TreeNode {
+    int arrived = 0;         ///< children of this node that have arrived
+    bool gathering = false;  ///< node is blocked waiting for arrivals
+  };
+  std::vector<TreeNode> nodes;  ///< indexed by member - 1
+  std::vector<double> partial;  ///< per-node partial reduction values
+  double reduce_result = 0.0;
 
   // Self-scheduled loop occurrences, in program order. All members must
   // execute the same sequence of SELFSCHED loops (Jordan's force model).
   struct SelfschedLoop {
     std::int64_t next = 0;
+    std::int64_t lo = 0;    ///< loop identity: members pairing to the same
+    std::int64_t hi = 0;    ///< occurrence must be at the same source loop,
+    std::int64_t step = 0;  ///< not merely share an iteration total
     std::int64_t total = 0;
   };
   std::vector<std::unique_ptr<SelfschedLoop>> loops;
 
-  SelfschedLoop& loop(std::size_t occurrence, std::int64_t total);
+  SelfschedLoop& loop(std::size_t occurrence, std::int64_t lo, std::int64_t hi,
+                      std::int64_t step, std::int64_t total);
 };
 
 /// The API available to a force member inside a forcesplit region. Mirrors
@@ -120,6 +135,17 @@ class ForceContext {
   /// BARRIER ... END BARRIER: all members pause; when all have arrived the
   /// *primary* executes `body` (may be null), then all continue.
   void barrier(const std::function<void(ForceContext&)>& body = nullptr);
+
+  /// Combining operator for reduce/allreduce.
+  enum class ReduceOp { sum, min, max };
+
+  /// Tree reduction of one scalar per member: combines `value` across all
+  /// members with `op` on the way up the barrier tree. Every member returns
+  /// the combined result; the primary additionally deposits it into
+  /// out[idx] with a metered shared write.
+  double reduce(ReduceOp op, double value, SharedBlock& out, std::size_t idx);
+  /// As reduce, without the SharedBlock deposit.
+  double allreduce(ReduceOp op, double value);
 
   /// CRITICAL <lock> ... END CRITICAL.
   void critical(LockVar& lock, const std::function<void()>& body);
@@ -150,6 +176,13 @@ class ForceContext {
 
   static std::int64_t iteration_count(std::int64_t lo, std::int64_t hi,
                                       std::int64_t step);
+
+  /// One collective episode over the member tree: gather arrivals (and,
+  /// when `contribute` is non-null, partial values) up to the root, run
+  /// `body` there, then release down the tree. Returns the reduction
+  /// result (0 for plain barriers).
+  double collective_sync(const std::function<void(ForceContext&)>& body,
+                         const double* contribute, ReduceOp op);
 
   Runtime* rt_;
   TaskRecord* rec_;

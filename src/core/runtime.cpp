@@ -792,6 +792,37 @@ bool Runtime::deliver(Message msg, TaskId to, bool to_reply_queue) {
   return true;
 }
 
+void Runtime::dispatch_broadcast_copy(const std::shared_ptr<BroadcastPlan>& plan,
+                                      std::size_t pos, mmos::Proc* sender_proc) {
+  if (post(plan->origin, sender_proc, plan->targets[pos - 1], plan->type,
+           plan->args)) {
+    ++stats_.broadcast_copies;
+  }
+  // Forward regardless of this copy's own fate (dead letter, lost on the
+  // bus): the subtree below `pos` was committed at snapshot time and each
+  // target must get exactly one dispatch.
+  schedule_broadcast_children(plan, pos);
+}
+
+void Runtime::schedule_broadcast_children(
+    const std::shared_ptr<BroadcastPlan>& plan, std::size_t pos) {
+  const std::size_t n = plan->targets.size();
+  const std::size_t k = static_cast<std::size_t>(plan->fanout);
+  const sim::Tick now = sys_->engine().now();
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t child = k * pos + 1 + j;
+    if (child > n) break;
+    // The relay PE re-issues its children's copies one after another, each
+    // costing one forward overhead; sibling relays elsewhere run in parallel
+    // and only their bus transfers serialize (inside post -> shared_transfer).
+    const sim::Tick at =
+        now + static_cast<sim::Tick>(j + 1) * costs().msg_forward_overhead;
+    sys_->engine().schedule(at, [this, plan, child] {
+      dispatch_broadcast_copy(plan, child, nullptr);
+    });
+  }
+}
+
 int Runtime::resolve_where(const Where& where, int my_cluster) const {
   switch (where.kind) {
     case Where::Kind::cluster:

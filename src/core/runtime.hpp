@@ -217,6 +217,28 @@ class Runtime {
   /// dead letter counted and the heap block released) if the receiver died.
   bool deliver(Message msg, TaskId to, bool to_reply_queue);
 
+  /// An in-flight TO ALL distribution tree. The target snapshot is fixed
+  /// when the broadcast is issued; positions 1..targets.size() form a k-ary
+  /// tree rooted at the sender (position 0), and each interior position
+  /// re-forwards to its children from the PE its own copy just reached, so
+  /// bus occupancy of sibling subtrees overlaps instead of serializing at
+  /// the root.
+  struct BroadcastPlan {
+    TaskId origin{};
+    std::string type;
+    std::vector<Value> args;
+    std::vector<TaskId> targets;  ///< position p >= 1 delivers to targets[p-1]
+    int fanout = 4;
+  };
+  /// Post the copy for tree position `pos` and schedule the position's
+  /// children. `sender_proc` is non-null only for the root's direct
+  /// children, which are dispatched from the sender's own PE (and may block
+  /// on a full heap there); relayed copies run as engine events.
+  void dispatch_broadcast_copy(const std::shared_ptr<BroadcastPlan>& plan,
+                               std::size_t pos, mmos::Proc* sender_proc);
+  void schedule_broadcast_children(const std::shared_ptr<BroadcastPlan>& plan,
+                                   std::size_t pos);
+
   /// Sentinel from heap_allocate_blocking when no proc was given and the
   /// heap is full (environment-originated messages are dropped, not blocked).
   static constexpr std::size_t kNoSpace = static_cast<std::size_t>(-1);

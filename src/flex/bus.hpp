@@ -28,6 +28,7 @@ class Bus {
   /// by fault injection to model a stalled/retried transfer holding the bus.
   void stall(sim::Tick now, sim::Tick duration) {
     const sim::Tick start = busy_until_ > now ? busy_until_ : now;
+    wait_ticks_ += start - now;
     busy_until_ = start + duration;
     busy_ticks_ += duration;
     ++faulted_transfers_;

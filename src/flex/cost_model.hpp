@@ -36,6 +36,13 @@ struct CostModel {
   sim::Tick lock_op = 10;               ///< lock/unlock a LOCK variable
   sim::Tick barrier_op = 15;            ///< per-member barrier bookkeeping
 
+  // Collective trees (TO ALL distribution, force barrier/reduce). Per-hop
+  // charges: a relay re-issuing one broadcast copy from the PE the copy just
+  // arrived on, and one parent<->child signal on a locally-polled flag
+  // (cheaper than a full message — no heap traffic, no global bus transfer).
+  sim::Tick msg_forward_overhead = 60;  ///< relay dispatch of one tree copy
+  sim::Tick collective_signal = 20;     ///< combining-tree arrival/release hop
+
   // Disk (on PEs 1-2).
   sim::Tick disk_seek = 20000;
   sim::Tick disk_per_word = 8;

@@ -24,9 +24,10 @@ enum class EventKind : int {
   dead_letter = 8,  ///< message dropped: destination dead or storage denied
   fault = 9,        ///< injected fault fired (pe-halt, bus-*, heap, disk)
   child_term = 10,  ///< abnormal termination reported to the parent
+  collective = 11,  ///< collective tree built (broadcast, barrier, reduce)
 };
 
-inline constexpr int kEventKindCount = 11;
+inline constexpr int kEventKindCount = 12;
 
 [[nodiscard]] constexpr std::string_view kind_name(EventKind k) {
   switch (k) {
@@ -41,6 +42,7 @@ inline constexpr int kEventKindCount = 11;
     case EventKind::dead_letter: return "DEAD-LETTER";
     case EventKind::fault: return "FAULT";
     case EventKind::child_term: return "CHILD-TERM";
+    case EventKind::collective: return "COLLECTIVE";
   }
   return "?";
 }

@@ -30,6 +30,10 @@ struct RunResult {
   std::uint64_t tasks_killed = 0;
   std::uint64_t childterms_posted = 0;
   flex::FaultStats faults;
+  sim::Tick bus_busy_ticks = 0;
+  sim::Tick bus_wait_ticks = 0;
+  std::uint64_t bus_transfers = 0;
+  std::uint64_t bus_faulted = 0;
   std::size_t heap_in_use = 0;
   bool timed_out = false;
   int results_received = 0;
@@ -41,7 +45,9 @@ struct RunResult {
                       dead_letters, tasks_started, tasks_finished, tasks_killed,
                       childterms_posted, faults.pe_halts, faults.bus_lost,
                       faults.bus_duplicated, faults.bus_delayed,
-                      faults.heap_denials, results_received, childterms_seen);
+                      faults.heap_denials, bus_busy_ticks, bus_wait_ticks,
+                      bus_transfers, bus_faulted, results_received,
+                      childterms_seen);
   }
 };
 
@@ -112,6 +118,11 @@ RunResult run_chaos(const flex::FaultPlan& plan) {
   out.tasks_killed = st.tasks_killed;
   out.childterms_posted = st.childterms_posted;
   if (const auto* fi = rt.fault_injector()) out.faults = fi->stats();
+  const flex::Bus& bus = machine.bus();
+  out.bus_busy_ticks = bus.busy_ticks();
+  out.bus_wait_ticks = bus.wait_ticks();
+  out.bus_transfers = bus.transfers();
+  out.bus_faulted = bus.faulted_transfers();
   out.heap_in_use = rt.message_heap().in_use();
   out.timed_out = rt.timed_out();
   out.abnormal = trace::Analyzer(sink.records()).abnormal_terminations();
@@ -182,6 +193,15 @@ TEST_P(ChaosSweep, InvariantsHoldAcrossFaultMixes) {
     // parent was notified for each one that still had a live parent.
     EXPECT_EQ(r.abnormal.size(), r.tasks_killed);
     EXPECT_LE(r.childterms_posted, r.tasks_killed);
+    // Bus accounting consistency: every faulted transfer on the bus was an
+    // injected lose/duplicate/delay (duplicates whose ghost copy found no
+    // heap space are drawn but never touch the bus, hence <=), and a stalled
+    // bus makes later requesters wait — stalls themselves accrue wait when
+    // they queue behind earlier traffic.
+    EXPECT_LE(r.bus_faulted,
+              r.faults.bus_lost + r.faults.bus_duplicated + r.faults.bus_delayed);
+    if (r.faults.bus_delayed > 0) EXPECT_GT(r.bus_wait_ticks, 0);
+    if (!plan.any()) EXPECT_EQ(r.bus_faulted, 0u);
     if (plan.pe_halts.empty()) {
       EXPECT_EQ(r.tasks_killed, 0u);
       EXPECT_EQ(r.faults.pe_halts, 0u);

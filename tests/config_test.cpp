@@ -184,6 +184,38 @@ TEST(Menu, EditExistingConfiguration) {
   EXPECT_TRUE(menu.current().trace.get(trace::EventKind::msg_send));
 }
 
+TEST(Persistence, CollectiveFanoutRoundTripsAndDefaultStaysImplicit) {
+  auto cfg = Configuration::simple(1);
+  {
+    std::stringstream ss;
+    cfg.save(ss);
+    // The default fan-out is not written, so older readers stay compatible.
+    EXPECT_EQ(ss.str().find("collective-fanout"), std::string::npos);
+    EXPECT_EQ(Configuration::load(ss).collective_fanout, 4);
+  }
+  cfg.collective_fanout = 8;
+  std::stringstream ss;
+  cfg.save(ss);
+  EXPECT_NE(ss.str().find("collective-fanout 8"), std::string::npos);
+  EXPECT_EQ(Configuration::load(ss).collective_fanout, 8);
+}
+
+TEST(Validation, RejectsDegenerateCollectiveFanout) {
+  auto cfg = Configuration::simple(1);
+  cfg.collective_fanout = 1;  // a 1-ary "tree" is a chain: reject
+  EXPECT_FALSE(cfg.validate(nasa_spec()).empty());
+}
+
+TEST(Menu, SetsCollectiveFanout) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  EXPECT_TRUE(menu.apply("fanout 3", out));
+  EXPECT_EQ(menu.current().collective_fanout, 3);
+  EXPECT_TRUE(menu.apply("fanout 1", out));  // rejected, value unchanged
+  EXPECT_EQ(menu.current().collective_fanout, 3);
+  EXPECT_NE(out.str().find("usage: fanout"), std::string::npos);
+}
+
 TEST(Persistence, PlacePolicyRoundTripsAndDefaultStaysImplicit) {
   auto cfg = Configuration::simple(2);
   cfg.clusters[0].secondary_pes = {5, 6};

@@ -390,6 +390,137 @@ TEST(Lock, ReleaseSkipsWaitersKilledWhileQueued) {
   EXPECT_FALSE(lk.locked());
 }
 
+// Regression: selfsched paired loops across members purely by occurrence
+// order and iteration total, so members taking divergent control paths
+// silently mispaired two *different* source loops that happened to cover the
+// same iteration count (the late member then took zero iterations). The
+// bounds/step identity check must turn that into the existing logic_error.
+TEST(Force, SelfschedDivergentLoopsWithSameTotalThrow) {
+  Fixture f(force_config(1));  // 2 members
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      if (fc.is_primary()) {
+        fc.compute(10'000);  // member 2 registers its loop first
+        fc.selfsched(1, 10, 1, [](std::int64_t) {});   // 10 iterations
+      } else {
+        fc.selfsched(11, 20, 1, [](std::int64_t) {});  // also 10 iterations
+      }
+    });
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  EXPECT_THROW(f->run(), std::logic_error);
+}
+
+TEST(Force, AllreduceReturnsCombinedValueToEveryMember) {
+  Fixture f(force_config(3));  // 4 members
+  std::vector<double> sum(5, -1), mn(5, -1), mx(5, -1);
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      const auto m = static_cast<std::size_t>(fc.member());
+      const auto v = static_cast<double>(fc.member());
+      sum[m] = fc.allreduce(ForceContext::ReduceOp::sum, v);
+      mn[m] = fc.allreduce(ForceContext::ReduceOp::min, 10.0 - v);
+      mx[m] = fc.allreduce(ForceContext::ReduceOp::max, 2.0 * v);
+    });
+  });
+  for (std::size_t m = 1; m <= 4; ++m) {
+    EXPECT_EQ(sum[m], 1.0 + 2.0 + 3.0 + 4.0) << m;
+    EXPECT_EQ(mn[m], 10.0 - 4.0) << m;
+    EXPECT_EQ(mx[m], 2.0 * 4.0) << m;
+  }
+}
+
+TEST(Force, ReduceDepositsResultIntoSharedBlock) {
+  Fixture f(force_config(2));  // 3 members
+  double stored = -1;
+  double seen_by_secondary = -1;
+  run_task(f, [&](TaskContext& ctx) {
+    ctx.shared_common("OUT", 4);
+    ctx.forcesplit([&](ForceContext& fc) {
+      auto& b = fc.shared_common("OUT", 4);
+      const double r = fc.reduce(ForceContext::ReduceOp::sum,
+                                 static_cast<double>(fc.member()), b, 2);
+      if (fc.member() == 3) seen_by_secondary = r;
+      fc.barrier();  // the primary's deposit happens-before this completes
+      if (fc.is_primary()) stored = b.read(fc.proc(), 2);
+    });
+  });
+  EXPECT_EQ(stored, 1.0 + 2.0 + 3.0);
+  EXPECT_EQ(seen_by_secondary, 1.0 + 2.0 + 3.0);
+}
+
+/// One barrier workload with a chosen per-member arrival skew, on a chosen
+/// engine backend. Returns the final tick so interleavings can be compared
+/// across backends.
+sim::Tick run_barrier_arrival_order(sim::Backend backend,
+                                    const std::vector<sim::Tick>& delays) {
+  sim::Engine eng(backend);
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  Runtime rt(sys, force_config(3));
+  int body_runs = 0;
+  rt.register_tasktype("main", [&](TaskContext& ctx) {
+    ctx.forcesplit([&](ForceContext& fc) {
+      const auto m = static_cast<std::size_t>(fc.member() - 1);
+      fc.compute(delays[m]);
+      fc.barrier();
+      // Second round with the skew reversed, so early arrivals of round one
+      // become late arrivals of round two within the same episode state.
+      fc.compute(delays[delays.size() - 1 - m]);
+      fc.barrier([&](ForceContext&) { ++body_runs; });
+    });
+  });
+  rt.boot();
+  rt.user_initiate(1, "main");
+  rt.run();
+  EXPECT_FALSE(rt.timed_out());
+  EXPECT_EQ(body_runs, 1);
+  return eng.now();
+}
+
+// Satellite of the collective-tree work: members may reach the barrier in
+// any order relative to the coordinator — including before the primary has
+// blocked at all — and the run must complete identically on both backends.
+TEST(ForceBarrier, ArrivalOrderInterleavingsMatchAcrossBackends) {
+  const std::vector<std::vector<sim::Tick>> orders = {
+      {8'000, 1, 1, 1},  // primary last
+      {1, 8'000, 1, 1},  // one child last
+      {1, 1, 1, 8'000},
+      {1, 2'000, 4'000, 6'000},  // staggered, primary first
+  };
+  for (const auto& d : orders) {
+    const sim::Tick fib = run_barrier_arrival_order(sim::Backend::fibers, d);
+    const sim::Tick thr = run_barrier_arrival_order(sim::Backend::threads, d);
+    EXPECT_EQ(fib, thr) << "delays " << d[0] << "," << d[1] << "," << d[2]
+                        << "," << d[3];
+  }
+}
+
+// Pin the guarded-wake semantics: an arrival must signal only the parent's
+// locally-polled counter, never wake a parent that is blocked somewhere
+// other than the gather (here: queued on a CRITICAL lock). The run completes
+// because the primary re-reads the arrival count when it finally gathers.
+TEST(ForceBarrier, EarlyArrivalsDoNotWakePrimaryBlockedElsewhere) {
+  Fixture f(force_config(3));  // 4 members; fanout 4 => all children of root
+  int body_runs = 0;
+  run_task(f, [&](TaskContext& ctx) {
+    auto& lock = ctx.lock_var("gate");
+    ctx.forcesplit([&](ForceContext& fc) {
+      if (fc.is_primary()) {
+        fc.compute(500);  // let member 2 take the lock first
+        fc.critical(lock, [&] { fc.compute(10); });  // queued behind member 2
+      } else if (fc.member() == 2) {
+        fc.critical(lock, [&] { fc.compute(50'000); });
+      }
+      // Members 3 and 4 arrive here long before the primary has blocked in
+      // the gather; their signals must park in the arrival counter.
+      fc.barrier([&](ForceContext&) { ++body_runs; });
+    });
+  });
+  EXPECT_EQ(body_runs, 1);
+}
+
 // Killing a whole task while force members are queued on a CRITICAL lock
 // must unwind everything — members reaped, lock registry cleared, slot
 // freed — without a hang.

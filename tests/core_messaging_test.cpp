@@ -719,12 +719,74 @@ TEST(Broadcast, TargetsAreSnapshottedBeforeBlockingSends) {
   f->run();
   ASSERT_FALSE(f->timed_out());
   EXPECT_GT(f->stats().heap_full_waits, 0u);  // the broadcast did block
-  // The broadcast saw parker and victim; the victim died waiting for heap
-  // space, so exactly one copy lands and one dead letter is counted. The
-  // task recycled into the victim's slot must NOT receive a copy.
-  EXPECT_EQ(delivered, 1);
+  // The broadcast snapshot saw parker and victim, so it commits to 2 copies;
+  // the victim died waiting for heap space, so exactly one copy lands
+  // (broadcast_copies) and one dead letter is counted. The task recycled
+  // into the victim's slot must NOT receive a copy.
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(f->stats().broadcast_copies, 1u);
   EXPECT_EQ(fresh_got, 0);
   EXPECT_GE(f->stats().dead_letters, 1u);
+}
+
+// Churn under the distribution tree: a snapshot target killed while its
+// (relayed) copy is still in flight becomes a dead letter, a task initiated
+// after the snapshot — even one recycled into the victim's slot — receives
+// nothing, and the broadcast_copies / dead_letters statistics agree with
+// the trace counters.
+TEST(Broadcast, TreeChurnKillsBecomeDeadLettersAndStatsMatchTrace) {
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.clusters[0].slots = 6;
+  cfg.collective_fanout = 2;  // forces depth > 1: positions 3+ are relayed
+  Fixture f(cfg);
+  int listener_hits = 0;
+  int late_got = 0;
+  int delivered = -1;
+  f->register_tasktype("listener", [&](TaskContext& ctx) {
+    auto res = ctx.accept(AcceptSpec{}.of("go").delay_for(3'000'000));
+    listener_hits += res.count("go");
+  });
+  f->register_tasktype("victim", [&](TaskContext& ctx) {
+    ctx.accept(AcceptSpec{}.of("go").delay_for(3'000'000));
+  });
+  f->register_tasktype("late", [&](TaskContext& ctx) {
+    auto res = ctx.accept(AcceptSpec{}.of("go").delay_for(2'000'000));
+    late_got = res.count("go");
+  });
+  f->register_tasktype("main", [&](TaskContext& ctx) {
+    for (int i = 0; i < 3; ++i) ctx.initiate(Where::Same(), "listener");
+    ctx.initiate(Where::Cluster(2), "listener");
+    ctx.initiate(Where::Cluster(2), "victim");
+    ctx.compute(200'000);  // let all five targets start
+    // Snapshot order is cluster 1's slots then cluster 2's, so the victim
+    // (cluster 2, second user slot) is position 5 — a relayed copy. Kill it
+    // right as the broadcast begins, before any copy can be posted.
+    const TaskId victim_id = f->cluster(2).slot(kFirstUserSlot + 1).id;
+    f.eng.schedule(f.eng.now() + 10, [&f, victim_id] {
+      f->try_kill_task(victim_id);
+    });
+    delivered = ctx.broadcast("go");
+    // Initiated after the snapshot: may even recycle the victim's slot, but
+    // must see none of this broadcast's copies.
+    ctx.initiate(Where::Cluster(2), "late");
+  });
+  f->boot();
+  f->user_initiate(1, "main");
+  f->run();
+  ASSERT_FALSE(f->timed_out());
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(listener_hits, 4);
+  EXPECT_EQ(late_got, 0);
+  EXPECT_EQ(f->stats().broadcast_copies, 4u);
+  EXPECT_GE(f->stats().dead_letters, 1u);
+  // Stats/trace consistency: every dead letter was traced, one collective
+  // event describes the tree, and the victim's lost copy is the only gap
+  // between the snapshot size and the copies that landed.
+  EXPECT_EQ(f->stats().dead_letters,
+            f->tracer().count(trace::EventKind::dead_letter));
+  EXPECT_EQ(f->tracer().count(trace::EventKind::collective), 1u);
+  EXPECT_EQ(f->stats().broadcast_copies + 1,
+            static_cast<std::uint64_t>(delivered));
 }
 
 }  // namespace

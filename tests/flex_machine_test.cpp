@@ -180,6 +180,23 @@ TEST(Bus, IdleBusStartsImmediately) {
   EXPECT_EQ(bus.wait_ticks(), 0);
 }
 
+// Regression: stall() occupied the bus but never accrued the time spent
+// queued behind earlier traffic into wait_ticks_, so contention was
+// underreported whenever fault injection stalled a busy bus.
+TEST(Bus, StallAccruesWaitAndBusy) {
+  Bus bus;
+  bus.transfer(0, 10);    // bus busy until 10
+  bus.stall(4, 20);       // queues 6 ticks behind the transfer
+  EXPECT_EQ(bus.wait_ticks(), 6);
+  EXPECT_EQ(bus.busy_ticks(), 30);
+  EXPECT_EQ(bus.busy_until(), 30);
+  EXPECT_EQ(bus.transfers(), 1u);  // a stall is not a completed transfer
+  EXPECT_EQ(bus.faulted_transfers(), 1u);
+  bus.stall(40, 5);  // idle bus: no extra wait
+  EXPECT_EQ(bus.wait_ticks(), 6);
+  EXPECT_EQ(bus.busy_until(), 45);
+}
+
 TEST(Machine, SharedTransferChargesBusAndLatency) {
   sim::Engine eng;
   Machine m(eng);
