@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common.hpp"
+#include "session/supervisor.hpp"
 
 using namespace pisces;
 using namespace pisces::bench;
@@ -377,6 +378,50 @@ BENCHMARK(BM_EncodeDecodeArgs)->Arg(8)->Arg(256)->Arg(4096);
 
 }  // namespace
 
+/// E4f: supervision recovery latency. A worker is killed by a PE halt at a
+/// known tick; the session-layer supervisor restarts it on the surviving
+/// cluster after its backoff. Latency = halt tick -> the tick the
+/// replacement actually resumes work, swept over backoff bases.
+void recovery_latency_table(JsonReport& report) {
+  banner("E4f: supervision recovery latency vs backoff");
+  const sim::Tick halt_at = 2'000'000;
+  auto measure = [halt_at](sim::Tick backoff_base) {
+    config::Configuration cfg = config::Configuration::simple(2);
+    cfg.faults.pe_halts.push_back({4, halt_at});
+    cfg.supervision.enabled = true;
+    cfg.supervision.backoff_base = backoff_base;
+    const config::SupervisionConfig scfg = cfg.supervision;
+    Sim sim(std::move(cfg));
+    session::Supervisor sup(sim.rt(), scfg);
+    sim.rt().register_tasktype("victim", [](rt::TaskContext& ctx) {
+      ctx.compute(5'000'000);
+    });
+    sim.rt().boot();
+    sim.rt().user_initiate(2, "victim");
+    const sim::Tick end = sim.rt().run();
+    const sim::Tick latency =
+        sup.recoveries().empty() ? 0 : sup.recoveries().front().latency();
+    return std::pair(latency, end - halt_at);
+  };
+  Table t({"backoff base (ticks)", "restart latency", "halt -> all done"});
+  report.begin_section("recovery_latency");
+  bool first = true;
+  for (const sim::Tick base :
+       {sim::Tick(100'000), sim::Tick(250'000), sim::Tick(500'000),
+        sim::Tick(1'000'000), sim::Tick(4'000'000)}) {
+    const auto [latency, to_done] = measure(base);
+    t.row(base, latency, to_done);
+    if (!first) report.body << ", ";
+    first = false;
+    report.body << "{\"backoff_base\": " << base
+                << ", \"restart_latency_ticks\": " << latency
+                << ", \"halt_to_done_ticks\": " << to_done << "}";
+  }
+  report.end_section();
+  note("restart latency tracks the backoff base plus constant re-initiate\n"
+       "cost; the tail is the replacement re-running its lost work.");
+}
+
 int main(int argc, char** argv) {
   std::cout << "PISCES 2 reproduction — E4: message passing (Sections 6, 11; "
                "extension measurements)\n";
@@ -398,6 +443,7 @@ int main(int argc, char** argv) {
   collectives_table(report);
   placement_table(report);
   fault_overhead_table(report);
+  recovery_latency_table(report);
   report.write(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -91,6 +91,26 @@ std::vector<std::string> Configuration::validate(const flex::MachineSpec& spec) 
     err("message heap exceeds shared memory");
   }
   for (auto& problem : faults.validate(spec)) errors.push_back(std::move(problem));
+  // Partition windows are cluster-level faults: cross-check the pair
+  // against the configured cluster numbers (FaultPlan::validate only sees
+  // the machine description).
+  for (const auto& p : faults.bus_partitions) {
+    for (int c : {p.cluster_a, p.cluster_b}) {
+      if (find_cluster(c) == nullptr) {
+        err("fault-partition names unconfigured cluster " + std::to_string(c));
+      }
+    }
+  }
+  if (supervision.max_restarts < 0) {
+    err("supervision restart budget must be >= 0");
+  }
+  if (supervision.backoff_base <= 0) err("supervision backoff base must be > 0");
+  if (supervision.backoff_factor < 1.0) {
+    err("supervision backoff factor must be >= 1");
+  }
+  if (supervision.backoff_cap < supervision.backoff_base) {
+    err("supervision backoff cap must be >= the base");
+  }
   return errors;
 }
 
@@ -120,13 +140,14 @@ void Configuration::save(std::ostream& os) const {
     os << " " << (trace.kind_on[static_cast<std::size_t>(k)] ? 1 : 0);
   }
   os << "\n";
+  // max_digits10 keeps probabilities and factors bit-exact across the
+  // round-trip.
+  auto prob = [](double p) {
+    std::ostringstream s;
+    s << std::setprecision(std::numeric_limits<double>::max_digits10) << p;
+    return s.str();
+  };
   if (faults.any() || faults.seed != 1) {
-    // max_digits10 keeps the probabilities bit-exact across the round-trip.
-    auto prob = [](double p) {
-      std::ostringstream s;
-      s << std::setprecision(std::numeric_limits<double>::max_digits10) << p;
-      return s.str();
-    };
     os << "fault-seed " << faults.seed << "\n";
     for (const auto& h : faults.pe_halts) {
       os << "fault-halt " << h.pe << " " << h.at << "\n";
@@ -144,6 +165,23 @@ void Configuration::save(std::ostream& os) const {
     if (faults.disk_error > 0) {
       os << "fault-disk " << prob(faults.disk_error) << "\n";
     }
+    for (const auto& s : faults.pe_slowdowns) {
+      os << "fault-slow " << s.pe << " " << s.from << " " << s.until << " "
+         << prob(s.factor) << "\n";
+    }
+    for (const auto& p : faults.bus_partitions) {
+      os << "fault-partition " << p.cluster_a << " " << p.cluster_b << " "
+         << p.from << " " << p.until << "\n";
+    }
+    for (const auto& r : faults.pe_recoveries) {
+      os << "fault-recover " << r.pe << " " << r.at << "\n";
+    }
+  }
+  if (supervision.enabled) {
+    os << "supervision " << supervision.max_restarts << " "
+       << supervision.backoff_base << " " << prob(supervision.backoff_factor)
+       << " " << supervision.backoff_cap << " "
+       << (supervision.migrate ? 1 : 0) << "\n";
   }
   os << "end\n";
 }
@@ -224,6 +262,25 @@ Configuration Configuration::load(std::istream& is) {
       cfg.faults.heap_outages.push_back(w);
     } else if (key == "fault-disk") {
       ls >> cfg.faults.disk_error;
+    } else if (key == "fault-slow") {
+      flex::FaultPlan::PeSlowdown s;
+      ls >> s.pe >> s.from >> s.until >> s.factor;
+      cfg.faults.pe_slowdowns.push_back(s);
+    } else if (key == "fault-partition") {
+      flex::FaultPlan::BusPartition p;
+      ls >> p.cluster_a >> p.cluster_b >> p.from >> p.until;
+      cfg.faults.bus_partitions.push_back(p);
+    } else if (key == "fault-recover") {
+      flex::FaultPlan::PeRecover r;
+      ls >> r.pe >> r.at;
+      cfg.faults.pe_recoveries.push_back(r);
+    } else if (key == "supervision") {
+      int migrate = 1;
+      ls >> cfg.supervision.max_restarts >> cfg.supervision.backoff_base >>
+          cfg.supervision.backoff_factor >> cfg.supervision.backoff_cap >>
+          migrate;
+      cfg.supervision.enabled = true;
+      cfg.supervision.migrate = migrate != 0;
     } else {
       throw std::runtime_error("Configuration::load: unknown key '" + key + "'");
     }

@@ -57,6 +57,22 @@ struct TraceSettings {
   }
 };
 
+/// Session-layer supervision policy stored with the configuration. When
+/// enabled, the session layer attaches a Supervisor to the runtime: user
+/// tasks that terminate abnormally are re-initiated with exponential
+/// backoff (delay = base · factor^attempt, capped) until the retry budget
+/// is exhausted, at which point the failure escalates up the task tree as
+/// a _SUPFAIL message; queued work migrates off clusters that lose their
+/// primary PE.
+struct SupervisionConfig {
+  bool enabled = false;
+  int max_restarts = 3;
+  sim::Tick backoff_base = 250'000;
+  double backoff_factor = 2.0;
+  sim::Tick backoff_cap = 16'000'000;
+  bool migrate = true;  ///< re-route queued work off dead clusters
+};
+
 /// A PISCES 2 run configuration: "A particular mapping is called a
 /// configuration. ... Configurations may be saved on files and reused or
 /// edited as desired for later runs."
@@ -70,6 +86,7 @@ struct Configuration {
   mmos::Loadfile loadfile;
   TraceSettings trace;
   flex::FaultPlan faults;  ///< deterministic fault-injection plan (empty = none)
+  SupervisionConfig supervision;  ///< session-layer restart/escalation policy
   /// Fan-out `k` of the collective trees (TO ALL distribution, force
   /// barrier/reduce). Each tree node forwards to at most `k` children, so a
   /// collective over n parties costs O(log_k n) charged hops.

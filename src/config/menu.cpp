@@ -129,7 +129,7 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
   } else if (cmd == "fault") {
     std::string sub;
     if (!(is >> sub)) {
-      out << "usage: fault seed|halt|bus|heap|disk|clear ...\n";
+      out << "usage: fault seed|halt|bus|heap|disk|slow|partition|recover|clear ...\n";
     } else if (sub == "seed") {
       if (!(is >> cfg_.faults.seed)) out << "usage: fault seed <n>\n";
     } else if (sub == "halt") {
@@ -148,10 +148,53 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
       else out << "usage: fault heap <from> <until>\n";
     } else if (sub == "disk") {
       if (!(is >> cfg_.faults.disk_error)) out << "usage: fault disk <prob>\n";
+    } else if (sub == "slow") {
+      flex::FaultPlan::PeSlowdown s;
+      if (is >> s.pe >> s.from >> s.until >> s.factor) {
+        cfg_.faults.pe_slowdowns.push_back(s);
+      } else {
+        out << "usage: fault slow <pe> <from> <until> <factor>\n";
+      }
+    } else if (sub == "partition") {
+      flex::FaultPlan::BusPartition p;
+      if (is >> p.cluster_a >> p.cluster_b >> p.from >> p.until) {
+        cfg_.faults.bus_partitions.push_back(p);
+      } else {
+        out << "usage: fault partition <cluster-a> <cluster-b> <from> <until>\n";
+      }
+    } else if (sub == "recover") {
+      flex::FaultPlan::PeRecover r;
+      if (is >> r.pe >> r.at) cfg_.faults.pe_recoveries.push_back(r);
+      else out << "usage: fault recover <pe> <tick>\n";
     } else if (sub == "clear") {
       cfg_.faults = flex::FaultPlan{};
     } else {
       out << "unknown fault subcommand '" << sub << "'\n";
+    }
+  } else if (cmd == "supervise") {
+    std::string sub;
+    auto& sup = cfg_.supervision;
+    if (!(is >> sub)) {
+      out << "usage: supervise on|off|restarts|backoff|migrate ...\n";
+    } else if (sub == "on") {
+      sup.enabled = true;
+    } else if (sub == "off") {
+      sup.enabled = false;
+    } else if (sub == "restarts") {
+      if (!(is >> sup.max_restarts)) out << "usage: supervise restarts <n>\n";
+    } else if (sub == "backoff") {
+      if (!(is >> sup.backoff_base >> sup.backoff_factor >> sup.backoff_cap)) {
+        out << "usage: supervise backoff <base> <factor> <cap>\n";
+      }
+    } else if (sub == "migrate") {
+      std::string setting;
+      if (is >> setting && (setting == "on" || setting == "off")) {
+        sup.migrate = setting == "on";
+      } else {
+        out << "usage: supervise migrate on|off\n";
+      }
+    } else {
+      out << "unknown supervise subcommand '" << sub << "'\n";
     }
   } else if (cmd == "show") {
     cfg_.save(out);

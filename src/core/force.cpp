@@ -189,9 +189,25 @@ double ForceContext::collective_sync(
 
   // Release wave: each node forwards the wake to its own children, so the
   // critical path of an episode is O(depth) signals up plus O(depth) down.
-  for (std::size_t c = first_child; c < end_child; ++c) {
+  // A relay whose process died mid-episode (PE halt after its partial was
+  // already folded in) can never run its own wave, so adopt its orphans:
+  // descend through dead nodes until a live member bounds the walk. The
+  // whole-task abort is also killing those orphans, but the adoption keeps
+  // the wave wedge-free in the window before the kills unwind — survivors
+  // blocked on the generation flip must not depend on a dead relay.
+  std::vector<std::size_t> wave;
+  for (std::size_t c = first_child; c < end_child; ++c) wave.push_back(c);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const std::size_t c = wave[i];
+    mmos::Proc* cp = st_->procs[c];
+    if (cp == nullptr || cp->finished() || cp->was_killed()) {
+      const std::size_t gfirst = k * c + 1;
+      const std::size_t gend = std::min(gfirst + k, n);
+      for (std::size_t g = gfirst; g < gend; ++g) wave.push_back(g);
+      continue;
+    }
     proc_->compute(rt_->costs().collective_signal);
-    st_->procs[c]->wake();
+    cp->wake();
   }
   return contribute != nullptr ? st_->reduce_result : 0.0;
 }

@@ -153,6 +153,40 @@ void Runtime::arm_faults() {
       // nothing to wake explicitly.
     });
   }
+  // The slowdown factor itself is sampled by Proc::compute straight from the
+  // injector; these events only make the window visible in the trace.
+  for (const auto& s : cfg_.faults.pe_slowdowns) {
+    eng.schedule(std::max(s.from, now), [this, s] {
+      trace_event(trace::EventKind::fault, {}, {}, s.pe, 0,
+                  "pe-slow-begin x" + std::to_string(s.factor));
+      console().write_line(sys_->engine().now(),
+                           "PISCES FAULT: PE " + std::to_string(s.pe) +
+                               " CLOCK DEGRADED");
+    });
+    eng.schedule(std::max(s.until, now), [this, pe = s.pe] {
+      trace_event(trace::EventKind::fault, {}, {}, pe, 0, "pe-slow-end");
+    });
+  }
+  // Likewise partitions: post() consults the injector per transfer.
+  for (const auto& p : cfg_.faults.bus_partitions) {
+    eng.schedule(std::max(p.from, now), [this, p] {
+      trace_event(trace::EventKind::fault, {}, {}, 0, 0,
+                  "bus-partition-begin " + std::to_string(p.cluster_a) + "|" +
+                      std::to_string(p.cluster_b));
+      console().write_line(sys_->engine().now(),
+                           "PISCES FAULT: CLUSTERS " +
+                               std::to_string(p.cluster_a) + " AND " +
+                               std::to_string(p.cluster_b) + " PARTITIONED");
+    });
+    eng.schedule(std::max(p.until, now), [this, p] {
+      trace_event(trace::EventKind::fault, {}, {}, 0, 0,
+                  "bus-partition-end " + std::to_string(p.cluster_a) + "|" +
+                      std::to_string(p.cluster_b));
+    });
+  }
+  for (const auto& r : cfg_.faults.pe_recoveries) {
+    eng.schedule(std::max(r.at, now), [this, pe = r.pe] { on_pe_recover(pe); });
+  }
 }
 
 void Runtime::on_pe_halt(int pe) {
@@ -163,16 +197,33 @@ void Runtime::on_pe_halt(int pe) {
                        "PISCES FAULT: PE " + std::to_string(pe) + " HALTED");
   for (auto& cl : clusters_) {
     // A cluster whose primary PE died loses its controllers: mark it dead
-    // so ANY/OTHER placement routes around it, and drop held initiates
-    // (nobody is left to start them).
+    // so ANY/OTHER placement routes around it. Held initiates migrate to a
+    // surviving cluster when the supervision layer asked for it; otherwise
+    // (or when nobody survives) they dead-letter.
     if (cl->cfg.primary_pe == pe) {
       cl->dead = true;
-      for (const auto& req : cl->pending) {
-        ++stats_.dead_letters;
-        trace_event(trace::EventKind::dead_letter, cl->controller_id(),
-                    req.parent, pe, 0, "_INITIATE " + req.tasktype);
+      const TaskId dead_ctl = cl->controller_id();
+      for (auto& req : cl->pending) {
+        const int target = migrate_work_ ? pick_survivor(cl->cfg.number) : -1;
+        if (target >= 0) {
+          trace_event(trace::EventKind::supervision, dead_ctl, req.parent, pe,
+                      0, "migrate-initiate " + req.tasktype + " cluster=" +
+                             std::to_string(target));
+          if (post(req.parent, nullptr, by_number_[target]->controller_id(),
+                   "_INITIATE",
+                   {Value(req.tasktype), Value::list(std::move(req.args)),
+                    Value(static_cast<std::int64_t>(req.tag))})) {
+            ++stats_.initiates_migrated;
+          }
+          // A false post already dead-lettered itself (heap denial).
+        } else {
+          ++stats_.dead_letters;
+          trace_event(trace::EventKind::dead_letter, dead_ctl, req.parent, pe,
+                      0, "_INITIATE " + req.tasktype);
+        }
       }
       cl->pending.clear();
+      reclaim_controllers(*cl, pe);
     }
     // A task with a force member on the dead PE can never pass its next
     // barrier; abort the whole task so the surviving members unwind instead
@@ -193,6 +244,94 @@ void Runtime::on_pe_halt(int pe) {
   // each task's exit callback runs finish_task, which reclaims the slot,
   // releases queued-message heap storage, and notifies the parent.
   sys_->kernel(pe).halt();
+  if (!sys_->kernel(pe).live_count_consistent()) {
+    throw std::logic_error("PE " + std::to_string(pe) +
+                           " live counter drifted after halt sweep");
+  }
+}
+
+void Runtime::reclaim_controllers(Cluster& cl, int pe) {
+  // Controllers have no exit callbacks (they never finish normally), so
+  // without this sweep their records would stay `running` with dead
+  // processes: posts to them would "deliver" into queues nobody drains and
+  // the heap storage would leak. Free the slots (ids stay, so stale sends
+  // dead-letter with the old id in the trace) and settle every queued
+  // message exactly once — migrated or dead-lettered.
+  for (int s = 0; s < kFirstUserSlot && s < static_cast<int>(cl.slots.size());
+       ++s) {
+    auto& rec = cl.slot(s);
+    if (rec.state == TaskState::free_slot) continue;
+    for (const Message& m : rec.in_queue) {
+      const int target = (migrate_work_ && m.type == "_INITIATE")
+                             ? pick_survivor(cl.cfg.number)
+                             : -1;
+      if (target >= 0) {
+        trace_event(trace::EventKind::supervision, rec.id, m.sender, pe, m.seq,
+                    "migrate-message _INITIATE cluster=" +
+                        std::to_string(target));
+        if (post(m.sender, nullptr, by_number_[target]->controller_id(),
+                 "_INITIATE", m.args)) {
+          ++stats_.messages_migrated;
+        }
+      } else {
+        ++stats_.dead_letters;
+        trace_event(trace::EventKind::dead_letter, rec.id, m.sender, pe, m.seq,
+                    m.type);
+      }
+      heap_release(m.heap_offset);
+    }
+    rec.in_queue.clear();
+    for (const Message& m : rec.replies) {
+      ++stats_.dead_letters;
+      trace_event(trace::EventKind::dead_letter, rec.id, m.sender, pe, m.seq,
+                  m.type);
+      heap_release(m.heap_offset);
+    }
+    rec.replies.clear();
+    rec.proc = nullptr;  // the process dies with the kernel
+    rec.state = TaskState::free_slot;
+  }
+}
+
+void Runtime::on_pe_recover(int pe) {
+  if (faults_ == nullptr || !faults_->pe_halted(pe)) return;
+  faults_->mark_recovered(pe);
+  trace_event(trace::EventKind::fault, {}, {}, pe, 0, "pe-recover");
+  console().write_line(sys_->engine().now(),
+                       "PISCES FAULT: PE " + std::to_string(pe) + " REJOINED");
+  sys_->kernel(pe).restart();
+  if (!sys_->kernel(pe).live_count_consistent()) {
+    throw std::logic_error("PE " + std::to_string(pe) +
+                           " live counter drifted across halt/recover");
+  }
+  // Clusters that lost their primary rejoin cold: fresh controllers with
+  // new unique ids. Taskids minted before the halt keep dead-lettering —
+  // the old incarnation's state is gone.
+  for (auto& cl : clusters_) {
+    if (cl->cfg.primary_pe == pe && cl->dead) {
+      cl->dead = false;
+      start_controllers(*cl);
+      trace_event(trace::EventKind::supervision, cl->controller_id(), {}, pe,
+                  0, "cluster-rejoin " + std::to_string(cl->cfg.number));
+      // Kick the fresh task controller: slots freed while the cluster was
+      // dead may already be waiting for work.
+      if (auto* ctl = cl->slot(kTaskControllerSlot).proc) ctl->wake();
+    }
+  }
+}
+
+int Runtime::pick_survivor(int dead_cluster) const {
+  const int c = resolve_where(Where::Any(), dead_cluster);
+  auto it = by_number_.find(c);
+  return (it != by_number_.end() && !it->second->dead) ? c : -1;
+}
+
+int Runtime::halted_pe_count(const Cluster& cl) const {
+  int n = pe_usable(cl.cfg.primary_pe) ? 0 : 1;
+  for (int pe : cl.cfg.secondary_pes) {
+    if (!pe_usable(pe)) ++n;
+  }
+  return n;
 }
 
 // ---- controllers ----
@@ -234,12 +373,18 @@ int Runtime::place_task_pe(Cluster& cl) {
     case config::PlacePolicy::least_loaded: {
       // Strict < over the primary-first order: ties go to the earlier PE, so
       // an idle configuration places exactly like `primary` would. Halted
-      // PEs are skipped so new initiates degrade onto the survivors.
+      // PEs are skipped so new initiates degrade onto the survivors, and a
+      // PE inside a slowdown window carries its load scaled by the clock
+      // stretch (an idle half-speed PE loses to an idle healthy one).
+      const sim::Tick now = sys_->engine().now();
       int best = -1;
-      std::size_t best_load = 0;
+      double best_load = 0.0;
       auto consider = [&](int pe) {
         if (!pe_usable(pe)) return;
-        const std::size_t load = sys_->kernel(pe).live_count();
+        const double factor =
+            faults_ != nullptr ? faults_->slowdown_factor(pe, now) : 1.0;
+        const double load =
+            static_cast<double>(sys_->kernel(pe).live_count() + 1) * factor;
         if (best < 0 || load < best_load) {
           best = pe;
           best_load = load;
@@ -288,6 +433,9 @@ void Runtime::task_controller_body(Cluster& cl, TaskContext& ctx) {
     Message m = ctx.wait_any_message();
     if (m.type == "_INITIATE") {
       PendingInitiate req{m.args.at(0).as_str(), m.sender, m.args.at(1).as_list()};
+      if (m.args.size() > 2) {
+        req.tag = static_cast<std::uint64_t>(m.args.at(2).as_int());
+      }
       handle_initiate(cl, ctx, std::move(req));
     } else if (m.type == "_WINREAD" || m.type == "_WINWRITE") {
       serve_window(cl, ctx, m);
@@ -339,6 +487,9 @@ void Runtime::start_task(Cluster& cl, TaskContext& ctl, int slot, PendingInitiat
   rec.proc = &proc;
   proc.on_exit([this, &cl, slot, id] { finish_task(cl, slot, id); });
   trace_event(trace::EventKind::task_init, id, req.parent, pe, 0, req.tasktype);
+  if (task_start_hook_) {
+    task_start_hook_({id, req.parent, req.tasktype, req.tag, pe});
+  }
 }
 
 void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
@@ -348,6 +499,11 @@ void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
   const bool abnormal = rec.proc != nullptr && rec.proc->was_killed();
   const TaskId parent = rec.parent;
   const int pe = rec.pe;
+  const std::string tasktype = rec.tasktype;
+  // The supervision layer restarts from the original initiate arguments;
+  // capture them before the record is scrubbed below.
+  std::vector<Value> saved_args;
+  if (abnormal && termination_hook_) saved_args = rec.init_args;
   // Reap force members left behind by a kill mid-force.
   for (auto* member : rec.force_members) member->kill();
   rec.force_members.clear();
@@ -373,9 +529,28 @@ void Runtime::finish_task(Cluster& cl, int slot, TaskId id) {
     const std::string reason =
         (faults_ != nullptr && faults_->pe_halted(pe)) ? "pe-halt" : "killed";
     trace_event(trace::EventKind::child_term, id, parent, pe, 0, reason);
-    if (live_record(parent) != nullptr) {
+    // Only a parent that can still consume its in-queue gets the
+    // notification. A parent whose record survives but whose process was
+    // killed with its PE (its own finish_task just hasn't run yet — halt
+    // sweeps are same-tick) would queue the message into a record about to
+    // be scrubbed; that must be a dead letter, exactly once, not a
+    // phantom delivery.
+    TaskRecord* prec = live_record(parent);
+    const bool parent_viable = prec != nullptr && prec->proc != nullptr &&
+                               !prec->proc->finished() &&
+                               !prec->proc->was_killed() &&
+                               pe_usable(prec->pe);
+    if (parent_viable) {
       ++stats_.childterms_posted;
       post(id, nullptr, parent, "_CHILDTERM", {Value(id), Value(reason)});
+    } else if (parent.valid()) {
+      ++stats_.dead_letters;
+      trace_event(trace::EventKind::dead_letter, parent, id, pe, 0,
+                  "_CHILDTERM");
+    }
+    if (termination_hook_) {
+      termination_hook_({id, parent, tasktype, std::move(saved_args), pe,
+                         reason});
     }
   }
   // Wake the cluster's task controller so held initiates can proceed.
@@ -724,10 +899,26 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   }
   trace_event(trace::EventKind::msg_send, from, to, sender_pe, msg.seq, msg.type);
 
-  // Fault injection: one bus-fault draw per transfer. _CHILDTERM is exempt —
-  // the recovery guarantee is that a parent always learns its child died.
-  if (faults_ != nullptr && msg.type != "_CHILDTERM") {
+  // Fault injection. Supervision control traffic (_CHILDTERM, _SUPFAIL)
+  // rides a reliable out-of-band channel: the recovery guarantee is that a
+  // parent always learns its child died, and the supervisor's escalation
+  // always reaches a live ancestor — no bus fault or partition touches it.
+  if (faults_ != nullptr && msg.type != "_CHILDTERM" &&
+      msg.type != "_SUPFAIL") {
     const sim::Tick now = sys_->engine().now();
+    // A partition window between the two clusters refuses the transfer
+    // outright (checked before the per-transfer fault draw: a partitioned
+    // bus never arbitrates the message at all). The transfer was already
+    // charged — the copy is dropped at the cluster boundary.
+    if (from.cluster != to.cluster &&
+        faults_->partitioned(from.cluster, to.cluster, now)) {
+      ++faults_->stats().bus_partition_drops;
+      trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                  "bus-partition " + msg.type);
+      sys_->machine().bus().note_faulted();
+      heap_release(off);
+      return true;
+    }
     switch (faults_->next_bus_fault()) {
       case flex::BusFault::lose:
         // The transfer happened (and was charged) but the message vanishes.
@@ -838,12 +1029,15 @@ int Runtime::resolve_where(const Where& where, int my_cluster) const {
       // "ANY -- run in a system-chosen cluster": pick the most free slots;
       // equal free-slot counts tie-break on the shorter held-initiate
       // backlog (a congested cluster's free count says nothing about the
-      // requests already queued for its slots), then lowest number
-      // (deterministic). free_user_slots()/pending are O(1), so the whole
-      // choice is O(clusters).
+      // requests already queued for its slots), then on fewer halted PEs
+      // (survivor rebalancing: a cluster that lost secondaries serves what
+      // it accepts more slowly), then lowest number (deterministic).
+      // free_user_slots()/pending are O(1) and the halted count only scans
+      // the configured PE list, so the whole choice stays O(clusters · PEs).
       int best = -1;
       int best_free = -1;
       std::size_t best_backlog = 0;
+      int best_halted = 0;
       for (const auto& cl : clusters_) {
         if (where.kind == Where::Kind::other && cl->cfg.number == my_cluster) {
           continue;
@@ -851,9 +1045,14 @@ int Runtime::resolve_where(const Where& where, int my_cluster) const {
         if (cl->dead) continue;  // primary PE halted: nobody to serve it
         const int f = cl->free_user_slots();
         const std::size_t backlog = cl->pending.size();
-        if (f > best_free || (f == best_free && backlog < best_backlog)) {
+        const int halted = faults_ != nullptr ? halted_pe_count(*cl) : 0;
+        if (f > best_free ||
+            (f == best_free &&
+             (backlog < best_backlog ||
+              (backlog == best_backlog && halted < best_halted)))) {
           best_free = f;
           best_backlog = backlog;
+          best_halted = halted;
           best = cl->cfg.number;
         }
       }
@@ -886,6 +1085,28 @@ void Runtime::user_initiate(int cluster, std::string tasktype,
   ++stats_.initiates_requested;
   post(user_controller_id(), nullptr, it->second->controller_id(), "_INITIATE",
        {Value(std::move(tasktype)), Value::list(std::move(args))});
+}
+
+bool Runtime::supervised_initiate(std::string tasktype, TaskId parent,
+                                  std::vector<Value> args, std::uint64_t tag) {
+  if (!booted_) throw std::logic_error("supervised_initiate before boot");
+  const int target = pick_survivor(clusters_.front()->cfg.number);
+  if (target < 0) {
+    ++stats_.dead_letters;
+    trace_event(trace::EventKind::dead_letter, {}, parent, 0, 0,
+                "_INITIATE " + tasktype + " (no live cluster)");
+    return false;
+  }
+  ++stats_.initiates_requested;
+  return post(parent, nullptr, by_number_[target]->controller_id(),
+              "_INITIATE",
+              {Value(std::move(tasktype)), Value::list(std::move(args)),
+               Value(static_cast<std::int64_t>(tag))});
+}
+
+bool Runtime::post_system(TaskId from, TaskId to, std::string type,
+                          std::vector<Value> args) {
+  return post(from, nullptr, to, std::move(type), std::move(args));
 }
 
 bool Runtime::user_send(TaskId to, std::string type, std::vector<Value> args) {

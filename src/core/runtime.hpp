@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -28,6 +29,10 @@ struct PendingInitiate {
   std::string tasktype;
   TaskId parent{};
   std::vector<Value> args;
+  /// Supervision correlation tag carried by restart initiates (0 = none);
+  /// handed back through the task-start hook so the session layer can link
+  /// a restarted incarnation to its lineage.
+  std::uint64_t tag = 0;
 };
 
 /// One virtual-machine cluster at run time: its configuration, its slot
@@ -84,6 +89,8 @@ struct RuntimeStats {
   std::uint64_t message_bytes_sent = 0;
   std::uint64_t childterms_posted = 0;  ///< _CHILDTERM notifications delivered
   std::uint64_t window_retries = 0;     ///< window requests re-sent under faults
+  std::uint64_t initiates_migrated = 0; ///< held initiates re-routed off a dead cluster
+  std::uint64_t messages_migrated = 0;  ///< queued _INITIATEs re-routed off a dead cluster
 };
 
 /// Outcome of Runtime::try_kill_task, so callers can tell a stale taskid
@@ -180,6 +187,50 @@ class Runtime {
     return faults_.get();
   }
 
+  // ---- session-layer supervision surface ----
+  /// Observed when a task actually starts (its slot is claimed and its
+  /// process created). `tag` is the supervision tag the initiate carried.
+  struct TaskStartInfo {
+    TaskId id{};
+    TaskId parent{};
+    std::string tasktype;
+    std::uint64_t tag = 0;
+    int pe = 0;
+  };
+  /// Observed when a task terminates abnormally (killed or PE halt); fired
+  /// after the slot is reclaimed and the parent notified, so a restart
+  /// issued from the hook can reuse the slot. `init_args` are the original
+  /// initiate arguments, captured before the record is scrubbed.
+  struct TerminationInfo {
+    TaskId id{};
+    TaskId parent{};
+    std::string tasktype;
+    std::vector<Value> init_args;
+    int pe = 0;
+    std::string reason;  ///< "pe-halt" or "killed"
+  };
+  using TaskStartHook = std::function<void(const TaskStartInfo&)>;
+  using TerminationHook = std::function<void(const TerminationInfo&)>;
+  void set_task_start_hook(TaskStartHook h) { task_start_hook_ = std::move(h); }
+  void set_termination_hook(TerminationHook h) {
+    termination_hook_ = std::move(h);
+  }
+  /// When on, work queued on a cluster whose primary PE halts — held
+  /// initiates and _INITIATE messages still in the dead controller's queue —
+  /// is re-routed to the healthiest surviving cluster instead of
+  /// dead-lettered. Flipped by the session layer's Supervisor.
+  void set_work_migration(bool on) { migrate_work_ = on; }
+  [[nodiscard]] bool work_migration() const { return migrate_work_; }
+  /// Re-issue an initiate on behalf of the supervision layer, preserving
+  /// the failed task's parent; routes to the healthiest surviving cluster.
+  /// False when every cluster is dead or message storage is denied.
+  bool supervised_initiate(std::string tasktype, TaskId parent,
+                           std::vector<Value> args, std::uint64_t tag);
+  /// Proc-less control message from the session layer (e.g. _SUPFAIL);
+  /// rides the same reliable channel as _CHILDTERM.
+  bool post_system(TaskId from, TaskId to, std::string type,
+                   std::vector<Value> args);
+
  private:
   friend class TaskContext;
   friend class ForceContext;
@@ -249,6 +300,20 @@ class Runtime {
   /// A PE-halt fault: kill everything on the PE, mark clusters whose
   /// primary died as dead, and abort tasks wedged on lost force members.
   void on_pe_halt(int pe);
+  /// A fail-recovery fault: the PE rejoins cold — kernel dispatches again,
+  /// clusters whose primary it was get fresh controllers, stale taskids
+  /// addressed to the old incarnation keep dead-lettering.
+  void on_pe_recover(int pe);
+  /// Reclaim a dead cluster's controller records: drain their queued
+  /// messages (migrating _INITIATEs when enabled), release heap storage,
+  /// and free the slots so posts to them dead-letter exactly once.
+  void reclaim_controllers(Cluster& cl, int pe);
+  /// Healthiest live cluster other than `dead_cluster` (ANY placement
+  /// rules), or -1 when none survives.
+  [[nodiscard]] int pick_survivor(int dead_cluster) const;
+  /// Halted PEs among a cluster's {primary} ∪ secondaries (survivor
+  /// rebalancing: ANY placement prefers less-degraded clusters).
+  [[nodiscard]] int halted_pe_count(const Cluster& cl) const;
   /// False only for PEs halted by fault injection.
   [[nodiscard]] bool pe_usable(int pe) const {
     return faults_ == nullptr || !faults_->pe_halted(pe);
@@ -306,6 +371,9 @@ class Runtime {
   /// stampede for it.
   std::deque<HeapWaiter> heap_waiters_;
   std::unique_ptr<flex::FaultInjector> faults_;  ///< null unless cfg_.faults.any()
+  TaskStartHook task_start_hook_;
+  TerminationHook termination_hook_;
+  bool migrate_work_ = false;
   RuntimeStats stats_;
   bool booted_ = false;
   bool timed_out_ = false;

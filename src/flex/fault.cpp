@@ -48,6 +48,50 @@ std::vector<std::string> FaultPlan::validate(const MachineSpec& spec) const {
       problems.emplace_back("fault-heap windows must not overlap");
     }
   }
+  for (const auto& s : pe_slowdowns) {
+    if (s.pe <= spec.unix_pe_count || s.pe > spec.pe_count) {
+      problems.push_back("fault-slow PE " + std::to_string(s.pe) +
+                         " is not an MMOS PE");
+    }
+    if (s.factor <= 0.0) {
+      problems.emplace_back("fault-slow factor must be > 0");
+    }
+    if (s.from < 0 || s.from >= s.until) {
+      problems.emplace_back("fault-slow window must have 0 <= from < until");
+    }
+  }
+  for (const auto& p : bus_partitions) {
+    if (p.cluster_a == p.cluster_b) {
+      problems.emplace_back(
+          "fault-partition must name two distinct clusters");
+    }
+    if (p.cluster_a <= 0 || p.cluster_b <= 0) {
+      problems.emplace_back("fault-partition cluster numbers must be >= 1");
+    }
+    if (p.from < 0 || p.from >= p.until) {
+      problems.emplace_back(
+          "fault-partition window must have 0 <= from < until");
+    }
+  }
+  for (const auto& r : pe_recoveries) {
+    if (r.pe <= spec.unix_pe_count || r.pe > spec.pe_count) {
+      problems.push_back("fault-recover PE " + std::to_string(r.pe) +
+                         " is not an MMOS PE");
+    }
+    if (r.at < 0) {
+      problems.emplace_back("fault-recover tick must be >= 0");
+    }
+    // A recovery only makes sense for a PE that was halted strictly earlier.
+    const bool halted_before =
+        std::any_of(pe_halts.begin(), pe_halts.end(), [&](const PeHalt& h) {
+          return h.pe == r.pe && h.at < r.at;
+        });
+    if (!halted_before) {
+      problems.push_back("fault-recover PE " + std::to_string(r.pe) +
+                         " is never halted before tick " +
+                         std::to_string(r.at));
+    }
+  }
   return problems;
 }
 

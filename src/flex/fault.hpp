@@ -44,8 +44,41 @@ struct FaultPlan {
   /// Per-request probability that a disk transfer fails and must be retried.
   double disk_error = 0.0;
 
+  /// Degrade an MMOS PE's clock during [from, until): every COMPUTE issued
+  /// on it is stretched by `factor` (2.0 = half speed). The PE keeps
+  /// working — only slower — so placement should route new work elsewhere.
+  struct PeSlowdown {
+    int pe = 0;
+    sim::Tick from = 0;
+    sim::Tick until = 0;
+    double factor = 2.0;
+  };
+  std::vector<PeSlowdown> pe_slowdowns;
+
+  /// While [from, until) is active the bus refuses transfers between the
+  /// two clusters (both directions); affected messages are dropped exactly
+  /// like a bus loss. Intra-cluster traffic is untouched.
+  struct BusPartition {
+    int cluster_a = 0;
+    int cluster_b = 0;
+    sim::Tick from = 0;
+    sim::Tick until = 0;
+  };
+  std::vector<BusPartition> bus_partitions;
+
+  /// Bring a previously halted PE back at a given tick. The PE rejoins
+  /// *cold*: its old processes stay dead, controllers are restarted fresh,
+  /// and stale task ids addressed to the old incarnation dead-letter.
+  struct PeRecover {
+    int pe = 0;
+    sim::Tick at = 0;
+  };
+  std::vector<PeRecover> pe_recoveries;
+
   [[nodiscard]] bool any() const {
-    return !pe_halts.empty() || !heap_outages.empty() || bus_loss > 0.0 ||
+    return !pe_halts.empty() || !heap_outages.empty() ||
+           !pe_slowdowns.empty() || !bus_partitions.empty() ||
+           !pe_recoveries.empty() || bus_loss > 0.0 ||
            bus_duplication > 0.0 || bus_delay_probability > 0.0 ||
            disk_error > 0.0;
   }
@@ -67,6 +100,8 @@ struct FaultStats {
   std::uint64_t bus_delayed = 0;
   std::uint64_t heap_denials = 0;
   std::uint64_t disk_errors = 0;
+  std::uint64_t bus_partition_drops = 0;
+  std::uint64_t pe_recoveries = 0;
 };
 
 /// Runtime interpreter for a FaultPlan. Owns the dedicated random streams
@@ -90,8 +125,34 @@ class FaultInjector {
   void mark_halted(int pe) {
     if (halted_.insert(pe).second) ++stats_.pe_halts;
   }
+  /// Clear the halted flag for a PE rejoining cold (fail-recovery family).
+  void mark_recovered(int pe) {
+    if (halted_.erase(pe) != 0) ++stats_.pe_recoveries;
+  }
   [[nodiscard]] bool pe_halted(int pe) const { return halted_.count(pe) != 0; }
   [[nodiscard]] const std::set<int>& halted_pes() const { return halted_; }
+
+  /// Clock-stretch factor for COMPUTE on `pe` at tick `now` (1.0 = healthy).
+  /// Sampled once at the start of each compute burst; overlapping windows
+  /// multiply.
+  [[nodiscard]] double slowdown_factor(int pe, sim::Tick now) const {
+    double f = 1.0;
+    for (const auto& s : plan_.pe_slowdowns) {
+      if (s.pe == pe && now >= s.from && now < s.until) f *= s.factor;
+    }
+    return f;
+  }
+
+  /// True when a partition window currently separates the two clusters.
+  [[nodiscard]] bool partitioned(int cluster_a, int cluster_b,
+                                 sim::Tick now) const {
+    for (const auto& p : plan_.bus_partitions) {
+      const bool pair = (p.cluster_a == cluster_a && p.cluster_b == cluster_b) ||
+                        (p.cluster_a == cluster_b && p.cluster_b == cluster_a);
+      if (pair && now >= p.from && now < p.until) return true;
+    }
+    return false;
+  }
 
   [[nodiscard]] FaultStats& stats() { return stats_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }

@@ -1,6 +1,9 @@
 #include "mmos/kernel.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "flex/fault.hpp"
 
 namespace pisces::mmos {
 
@@ -35,6 +38,20 @@ void Kernel::halt() {
   for (auto& p : procs_) {
     if (!p->finished_) p->kill();
   }
+}
+
+void Kernel::restart() {
+  if (!halted_) return;
+  halted_ = false;
+  slice_used_ = 0;
+  maybe_dispatch();
+}
+
+bool Kernel::live_count_consistent() const {
+  const std::size_t actual = static_cast<std::size_t>(
+      std::count_if(procs_.begin(), procs_.end(),
+                    [](const std::unique_ptr<Proc>& p) { return !p->finished_; }));
+  return actual == live_;
 }
 
 void Kernel::make_ready(Proc& p) {
@@ -110,6 +127,17 @@ void Proc::finish() {
 
 void Proc::compute(sim::Tick ticks) {
   auto& eng = kernel_->engine();
+  // Degraded-clock fault: the stretch factor is sampled once per compute
+  // burst at its start tick, so the charge is a pure function of (pe, now)
+  // and replays identically on both engine backends.
+  if (const auto* fi = kernel_->machine().fault_injector(); fi != nullptr && ticks > 0) {
+    const double f = fi->slowdown_factor(kernel_->pe(), eng.now());
+    if (f != 1.0) {
+      ticks = static_cast<sim::Tick>(
+          std::llround(static_cast<double>(ticks) * f));
+      if (ticks < 1) ticks = 1;
+    }
+  }
   while (ticks > 0) {
     if (kernel_->should_preempt()) {
       // Quantum exhausted and others are waiting: go to the back of the

@@ -40,6 +40,17 @@ class Kernel {
   void halt();
   [[nodiscard]] bool halted() const { return halted_; }
 
+  /// Fail-recovery: bring a halted PE back cold. Old processes stay dead
+  /// (their records were reclaimed at halt time); the scheduler simply
+  /// starts dispatching again for processes created from now on. Idempotent
+  /// on a healthy PE.
+  void restart();
+
+  /// Invariant check for the O(1) live counter: true iff `live_count()`
+  /// matches a fresh scan of the process table. O(n) — meant for the
+  /// watchdog sweep and test assertions, not hot paths.
+  [[nodiscard]] bool live_count_consistent() const;
+
   // Scheduler introspection (the exec environment's "DISPLAY PE LOADING"
   // and the runtime's least-loaded task placement).
   [[nodiscard]] const Proc* current() const { return current_; }

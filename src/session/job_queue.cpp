@@ -1,6 +1,7 @@
 #include "session/job_queue.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace pisces::session {
 
@@ -28,12 +29,24 @@ std::vector<JobResult> JobQueue::run_all() {
       flex::Machine machine(engine);
       mmos::System system(machine);
       rt::Runtime runtime(system, job.configuration);
+      // The session layer owns supervision: when the configuration asks
+      // for it, a Supervisor rides this job's runtime (destroyed with it
+      // at the reboot).
+      std::unique_ptr<Supervisor> supervisor;
+      if (job.configuration.supervision.enabled) {
+        supervisor =
+            std::make_unique<Supervisor>(runtime, job.configuration.supervision);
+      }
       if (job.setup) job.setup(runtime);
       runtime.boot();
       if (job.start) job.start(runtime);
       res.run_ticks = runtime.run();
       res.timed_out = runtime.timed_out();
       res.stats = runtime.stats();
+      if (supervisor) {
+        res.supervision = supervisor->stats();
+        res.recoveries = supervisor->recoveries();
+      }
       res.console = runtime.console().lines();
     }
 

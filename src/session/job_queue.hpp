@@ -6,6 +6,7 @@
 
 #include "config/configuration.hpp"
 #include "core/runtime.hpp"
+#include "session/supervisor.hpp"
 
 namespace pisces::session {
 
@@ -30,6 +31,9 @@ struct JobResult {
   sim::Tick run_ticks = 0;    ///< virtual time the program itself took
   bool timed_out = false;
   rt::RuntimeStats stats;
+  /// Populated when the job's configuration enables supervision.
+  SupervisorStats supervision;
+  std::vector<RecoveryRecord> recoveries;
   std::vector<mmos::Console::Line> console;
 
   [[nodiscard]] sim::Tick queue_wait() const { return started_at - submit_at; }

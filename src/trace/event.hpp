@@ -25,9 +25,10 @@ enum class EventKind : int {
   fault = 9,        ///< injected fault fired (pe-halt, bus-*, heap, disk)
   child_term = 10,  ///< abnormal termination reported to the parent
   collective = 11,  ///< collective tree built (broadcast, barrier, reduce)
+  supervision = 12, ///< supervision policy acted (restart, escalate, migrate)
 };
 
-inline constexpr int kEventKindCount = 12;
+inline constexpr int kEventKindCount = 13;
 
 [[nodiscard]] constexpr std::string_view kind_name(EventKind k) {
   switch (k) {
@@ -43,6 +44,7 @@ inline constexpr int kEventKindCount = 12;
     case EventKind::fault: return "FAULT";
     case EventKind::child_term: return "CHILD-TERM";
     case EventKind::collective: return "COLLECTIVE";
+    case EventKind::supervision: return "SUPERVISION";
   }
   return "?";
 }

@@ -6,10 +6,13 @@
 // (not hung) completion when a PE halts under a placement workload.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <random>
 #include <tuple>
 
 #include "core/runtime.hpp"
+#include "session/supervisor.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/sink.hpp"
 
@@ -166,6 +169,29 @@ flex::FaultPlan combo_mix(std::uint64_t seed) {
   return p;
 }
 
+/// Seed list for the parameterized sweeps. Per-PR CI uses the short default
+/// list; the nightly long sweep sets PISCES_CHAOS_SEEDS=<n> to grind through
+/// n deterministically generated seeds (SplitMix64 of the index, so a
+/// failing seed from the nightly log reproduces locally by value).
+std::vector<std::uint64_t> chaos_seeds() {
+  if (const char* env = std::getenv("PISCES_CHAOS_SEEDS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) {
+      std::vector<std::uint64_t> seeds;
+      seeds.reserve(static_cast<std::size_t>(n));
+      for (long i = 0; i < n; ++i) {
+        std::uint64_t z = (static_cast<std::uint64_t>(i) + 1) *
+                          0x9E3779B97F4A7C15ull;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        seeds.push_back(z ^ (z >> 31));
+      }
+      return seeds;
+    }
+  }
+  return {1u, 42u, 31337u};
+}
+
 class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosSweep, InvariantsHoldAcrossFaultMixes) {
@@ -225,7 +251,7 @@ TEST_P(ChaosSweep, IdenticalSeedsReplayBitIdentically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
-                         ::testing::Values(1u, 42u, 31337u));
+                         ::testing::ValuesIn(chaos_seeds()));
 
 TEST(Chaos, ParentIsNotifiedForEveryHaltedChild) {
   const RunResult r = run_chaos(pe_halt_mix(7));
@@ -381,6 +407,396 @@ TEST(Chaos, DiskErrorRetriesAreInvisibleWhenTheyRecover) {
   EXPECT_GT(rt.fault_injector()->stats().disk_errors, 0u);
   EXPECT_EQ(ok + failed, 12);
 }
+
+// ---- recovery fault families -----------------------------------------
+
+TEST(Chaos, SlowdownStretchesComputeDeterministically) {
+  const RunResult base = run_chaos(clean_mix(5));
+  flex::FaultPlan slow = clean_mix(5);
+  slow.pe_slowdowns.push_back({3, 0, 80'000'000, 3.0});
+  slow.pe_slowdowns.push_back({4, 0, 80'000'000, 3.0});
+  slow.pe_slowdowns.push_back({5, 0, 80'000'000, 3.0});
+  const RunResult degraded = run_chaos(slow);
+  // A degraded clock kills nothing — but accept deadlines are wall-clock,
+  // so slow workers can miss them: fewer results, never a hang.
+  EXPECT_FALSE(degraded.timed_out);
+  EXPECT_EQ(degraded.tasks_killed, 0u);
+  EXPECT_GT(degraded.results_received, 0);
+  EXPECT_LE(degraded.results_received, kWorkers * kRounds);
+  EXPECT_GT(degraded.end_tick, base.end_tick);
+  // And it replays bit-identically.
+  EXPECT_EQ(degraded.key(), run_chaos(slow).key());
+}
+
+TEST(Chaos, PartitionDropsCrossClusterTrafficThenHeals) {
+  flex::FaultPlan plan = clean_mix(5);
+  plan.bus_partitions.push_back({1, 2, 1'000'000, 8'000'000});
+  const RunResult r = run_chaos(plan);
+  // Traffic between clusters 1 and 2 inside the window was refused at the
+  // cluster boundary; the run still quiesces once the partition heals.
+  EXPECT_GT(r.faults.bus_partition_drops, 0u);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.heap_in_use, 0u);
+  EXPECT_LE(r.results_received, kWorkers * kRounds);
+  EXPECT_EQ(r.key(), run_chaos(plan).key());
+}
+
+TEST(Chaos, FailRecoveryRejoinsColdAndServesNewWork) {
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.faults.pe_halts.push_back({4, 2'000'000});
+  cfg.faults.pe_recoveries.push_back({4, 5'000'000});
+  cfg.time_limit = 80'000'000;
+  Runtime rt(sys, std::move(cfg));
+  TaskId first_worker{};
+  int hellos = 0;
+  int childterms = 0;
+  int fins = 0;
+  bool stale_send_ok = true;
+  rt.register_tasktype("worker", [](TaskContext& ctx) {
+    ctx.send(Dest::Parent(), "hello", {Value(ctx.self())});
+    ctx.compute(6'000'000);
+    ctx.send(Dest::Parent(), "fin");
+  });
+  rt.register_tasktype("master", [&](TaskContext& ctx) {
+    ctx.on_message("hello", [&](TaskContext&, const Message& m) {
+      ++hellos;
+      if (hellos == 1) first_worker = m.args.at(0).as_taskid();
+    });
+    ctx.on_message("_CHILDTERM",
+                   [&childterms](TaskContext&, const Message&) { ++childterms; });
+    ctx.on_message("fin", [&fins](TaskContext&, const Message&) { ++fins; });
+    ctx.initiate(Where::Cluster(2), "worker");
+    ctx.accept(AcceptSpec{}.of("hello").delay_for(3'000'000));
+    ctx.accept(AcceptSpec{}.of("_CHILDTERM").delay_for(10'000'000));
+    // Outlive the rejoin window, then prove the cold restart: the old
+    // incarnation's taskid is gone for good, while fresh initiates to the
+    // recovered cluster are served again.
+    ctx.compute(4'000'000);
+    stale_send_ok = ctx.send(Dest::To(first_worker), "work", {});
+    ctx.initiate(Where::Cluster(2), "worker");
+    ctx.accept(AcceptSpec{}.of("fin").all_of("hello").delay_for(30'000'000));
+  });
+  rt.boot();
+  rt.user_initiate(1, "master");
+  rt.run();
+  EXPECT_FALSE(rt.timed_out());
+  EXPECT_EQ(childterms, 1);
+  EXPECT_EQ(hellos, 2);
+  EXPECT_EQ(fins, 1);  // only the post-recovery incarnation finished
+  EXPECT_FALSE(stale_send_ok);  // stale taskid dead-letters, not phantom
+  ASSERT_NE(rt.fault_injector(), nullptr);
+  EXPECT_EQ(rt.fault_injector()->stats().pe_recoveries, 1u);
+  EXPECT_EQ(rt.message_heap().in_use(), 0u);
+  bool rejoined = false;
+  for (const auto& line : rt.console().lines()) {
+    if (line.text.find("REJOINED") != std::string::npos) rejoined = true;
+  }
+  EXPECT_TRUE(rejoined);
+}
+
+// ---- recovery-path regressions ---------------------------------------
+
+TEST(Chaos, ChildtermToDeadParentDeadLettersExactlyOnce) {
+  // Master and both workers live on cluster 1's primary; the halt kills
+  // them in one sweep. Every _CHILDTERM raised for a killed child whose
+  // parent can no longer consume it must dead-letter exactly once — never
+  // deliver into a record about to be scrubbed, never vanish uncounted.
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(1);
+  cfg.faults.pe_halts.push_back({3, 2'000'000});
+  cfg.time_limit = 40'000'000;
+  cfg.trace.set(trace::EventKind::child_term, true);
+  cfg.trace.set(trace::EventKind::dead_letter, true);
+  Runtime rt(sys, std::move(cfg));
+  trace::MemorySink sink;
+  rt.tracer().add_sink(&sink);
+  rt.register_tasktype("worker", [](TaskContext& ctx) {
+    ctx.compute(10'000'000);
+  });
+  rt.register_tasktype("master", [](TaskContext& ctx) {
+    ctx.initiate(Where::Same(), "worker");
+    ctx.initiate(Where::Same(), "worker");
+    ctx.compute(10'000'000);
+  });
+  rt.boot();
+  rt.user_initiate(1, "master");
+  rt.run();
+  EXPECT_FALSE(rt.timed_out());
+  EXPECT_EQ(rt.stats().tasks_killed, 3u);  // master + 2 workers
+  EXPECT_EQ(rt.stats().childterms_posted, 0u);  // nobody left to tell
+  EXPECT_EQ(rt.stats().dead_letters,
+            rt.tracer().count(trace::EventKind::dead_letter));
+  std::uint64_t childterm_dead_letters = 0;
+  for (const auto& rec : sink.records()) {
+    if (rec.kind == trace::EventKind::dead_letter && rec.info == "_CHILDTERM") {
+      ++childterm_dead_letters;
+    }
+  }
+  EXPECT_EQ(childterm_dead_letters, 3u);  // one per killed child, exactly
+  EXPECT_EQ(rt.message_heap().in_use(), 0u);
+}
+
+TEST(Chaos, AllreduceDoesNotWedgeWhenRelayPeHaltsMidCollective) {
+  // A 7-member force with fan-out 2 builds a depth-2 combining tree; the
+  // member on PE 5 is an interior relay. It arrives early (its partial is
+  // folded) and its PE halts while a straggler keeps the gather open. The
+  // collective must unwind — degraded, never wedged — on both backends.
+  auto run = [](sim::Backend backend) {
+    sim::Engine eng(backend);
+    flex::Machine machine{eng};
+    mmos::System sys{machine};
+    config::Configuration cfg = config::Configuration::simple(1);
+    cfg.clusters[0].secondary_pes = {4, 5, 6, 7, 8, 9};
+    cfg.collective_fanout = 2;
+    cfg.faults.pe_halts.push_back({5, 2'000'000});
+    cfg.time_limit = 60'000'000;
+    Runtime rt(sys, std::move(cfg));
+    double result = -1;
+    rt.register_tasktype("main", [&result](TaskContext& ctx) {
+      ctx.forcesplit([&result](ForceContext& fc) {
+        // Member 2 straggles past the halt; everyone else is already in
+        // the gather (the PE-5 member has signalled its parent) at 2M.
+        fc.compute(fc.member() == 2 ? 5'000'000
+                                    : 100'000 * static_cast<sim::Tick>(
+                                                    fc.member()));
+        result = fc.allreduce(ForceContext::ReduceOp::sum,
+                              static_cast<double>(fc.member()));
+      });
+    });
+    rt.boot();
+    rt.user_initiate(1, "main");
+    const sim::Tick end = rt.run();
+    EXPECT_FALSE(rt.timed_out());
+    EXPECT_EQ(rt.stats().tasks_killed, 1u);
+    EXPECT_EQ(result, -1);  // the collective aborted; nobody saw a value
+    EXPECT_EQ(rt.message_heap().in_use(), 0u);
+    return end;
+  };
+  const sim::Tick fibers = run(sim::Backend::fibers);
+  const sim::Tick threads = run(sim::Backend::threads);
+  EXPECT_EQ(fibers, threads);
+}
+
+// ---- liveness under supervision policy -------------------------------
+
+constexpr int kSupWorkers = 5;
+
+/// Everything observable about one supervised chaos run.
+struct SupRunResult {
+  sim::Tick end_tick = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t tasks_started = 0;
+  std::uint64_t tasks_finished = 0;
+  std::uint64_t tasks_killed = 0;
+  std::uint64_t dead_letters = 0;
+  std::uint64_t dead_letter_traces = 0;
+  std::uint64_t childterms_posted = 0;
+  std::uint64_t initiates_migrated = 0;
+  std::uint64_t messages_migrated = 0;
+  session::SupervisorStats sup;
+  flex::FaultStats faults;
+  std::size_t heap_in_use = 0;
+  bool timed_out = false;
+  bool live_counts_ok = false;
+  int results = 0;
+  int supfails = 0;
+  int childterms_seen = 0;
+
+  [[nodiscard]] auto key() const {
+    return std::tuple(end_tick, events_fired, tasks_started, tasks_finished,
+                      tasks_killed, dead_letters, childterms_posted,
+                      initiates_migrated, messages_migrated,
+                      sup.restarts_scheduled, sup.restarts_started,
+                      sup.restart_posts_failed, sup.budgets_exhausted,
+                      sup.escalations_delivered, sup.escalations_dropped,
+                      faults.pe_halts, faults.pe_recoveries,
+                      faults.bus_partition_drops, faults.bus_lost, results,
+                      supfails, childterms_seen);
+  }
+};
+
+/// Supervised master/worker workload: every worker lineage must either
+/// deliver its result or escalate (_SUPFAIL) within bounded ticks.
+SupRunResult run_supervised(const flex::FaultPlan& plan, sim::Backend backend) {
+  sim::Engine eng(backend);
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(3);
+  for (auto& cl : cfg.clusters) cl.slots = 6;
+  cfg.faults = plan;
+  cfg.supervision.enabled = true;
+  cfg.supervision.max_restarts = 2;
+  cfg.supervision.backoff_base = 300'000;
+  cfg.supervision.backoff_factor = 2.0;
+  cfg.supervision.backoff_cap = 4'000'000;
+  cfg.supervision.migrate = true;
+  cfg.time_limit = 300'000'000;
+  const config::SupervisionConfig scfg = cfg.supervision;
+  Runtime rt(sys, std::move(cfg));
+  session::Supervisor sup(rt, scfg);
+
+  SupRunResult out;
+  rt.register_tasktype("worker", [](TaskContext& ctx) {
+    ctx.compute(3'500'000);
+    ctx.send(Dest::Parent(), "result");
+  });
+  rt.register_tasktype("master", [&out](TaskContext& ctx) {
+    ctx.on_message("result",
+                   [&out](TaskContext&, const Message&) { ++out.results; });
+    ctx.on_message("_SUPFAIL",
+                   [&out](TaskContext&, const Message&) { ++out.supfails; });
+    ctx.on_message("_CHILDTERM", [&out](TaskContext&, const Message&) {
+      ++out.childterms_seen;
+    });
+    for (int i = 0; i < kSupWorkers; ++i) ctx.initiate(Where::Any(), "worker");
+    // Bounded wait for every lineage to resolve: each accept window is
+    // finite and three windows with zero progress end the run.
+    int idle = 0;
+    while (out.results + out.supfails < kSupWorkers && idle < 3) {
+      const int before = out.results + out.supfails;
+      (void)ctx.accept(AcceptSpec{}.of("result").all_of("_SUPFAIL")
+                           .all_of("_CHILDTERM").delay_for(8'000'000));
+      idle = (out.results + out.supfails == before) ? idle + 1 : 0;
+    }
+  });
+  rt.boot();
+  rt.user_initiate(1, "master");
+  out.end_tick = rt.run();
+  out.events_fired = eng.events_fired();
+  const RuntimeStats& st = rt.stats();
+  out.tasks_started = st.tasks_started;
+  out.tasks_finished = st.tasks_finished;
+  out.tasks_killed = st.tasks_killed;
+  out.dead_letters = st.dead_letters;
+  out.dead_letter_traces = rt.tracer().count(trace::EventKind::dead_letter);
+  out.childterms_posted = st.childterms_posted;
+  out.initiates_migrated = st.initiates_migrated;
+  out.messages_migrated = st.messages_migrated;
+  out.sup = sup.stats();
+  if (const auto* fi = rt.fault_injector()) out.faults = fi->stats();
+  out.heap_in_use = rt.message_heap().in_use();
+  out.timed_out = rt.timed_out();
+  out.live_counts_ok = true;
+  for (int pe = machine.spec().first_mmos_pe(); pe <= machine.pe_count(); ++pe) {
+    if (!sys.kernel(pe).live_count_consistent()) out.live_counts_ok = false;
+  }
+  return out;
+}
+
+/// Reliable-channel mixes: no probabilistic bus faults, so every result or
+/// escalation observably reaches the master and the accounting is strict.
+flex::FaultPlan sup_halt_recover_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  p.pe_halts.push_back({4, 2'500'000});
+  p.pe_recoveries.push_back({4, 4'500'000});
+  p.pe_halts.push_back({5, 6'000'000});
+  return p;
+}
+
+flex::FaultPlan sup_slowdown_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  p.pe_slowdowns.push_back({4, 1'000'000, 9'000'000, 2.5});
+  p.pe_slowdowns.push_back({3, 0, 5'000'000, 1.25});
+  p.pe_halts.push_back({5, 3'000'000});
+  return p;
+}
+
+/// Randomized storm for the nightly sweep: lossy bus, partitions, halts,
+/// recoveries and slowdowns drawn from the seed (deterministically — the
+/// same seed always builds the same storm).
+flex::FaultPlan sup_storm_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  std::mt19937_64 gen(seed * 0x9E3779B97F4A7C15ull + 1);
+  auto tick = [&gen](sim::Tick lo, sim::Tick hi) {
+    return static_cast<sim::Tick>(
+        lo + static_cast<sim::Tick>(gen() % static_cast<std::uint64_t>(hi - lo)));
+  };
+  if (gen() % 2 == 0) {
+    const sim::Tick at = tick(1'500'000, 5'000'000);
+    p.pe_halts.push_back({4, at});
+    if (gen() % 2 == 0) p.pe_recoveries.push_back({4, at + tick(500'000, 3'000'000)});
+  }
+  if (gen() % 2 == 0) p.pe_halts.push_back({5, tick(2'000'000, 7'000'000)});
+  if (gen() % 2 == 0) {
+    p.pe_slowdowns.push_back(
+        {3 + static_cast<int>(gen() % 3), tick(0, 2'000'000),
+         tick(4'000'000, 12'000'000), 1.5 + static_cast<double>(gen() % 3)});
+  }
+  if (gen() % 2 == 0) {
+    const int a = 1 + static_cast<int>(gen() % 3);
+    const int b = 1 + static_cast<int>(gen() % 3);
+    if (a != b) p.bus_partitions.push_back({a, b, tick(1'000'000, 3'000'000),
+                                            tick(4'000'000, 9'000'000)});
+  }
+  p.bus_loss = 0.02 * static_cast<double>(gen() % 4);
+  p.bus_delay_probability = 0.03 * static_cast<double>(gen() % 3);
+  p.bus_delay_ticks = 30'000;
+  return p;
+}
+
+class SupervisedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SupervisedSweep, LivenessUnderPolicyHolds) {
+  const std::uint64_t seed = GetParam();
+  const flex::FaultPlan mixes[] = {sup_halt_recover_mix(seed),
+                                   sup_slowdown_mix(seed)};
+  for (const auto& plan : mixes) {
+    SCOPED_TRACE("seed=" + std::to_string(plan.seed) +
+                 " halts=" + std::to_string(plan.pe_halts.size()) +
+                 " slowdowns=" + std::to_string(plan.pe_slowdowns.size()));
+    const SupRunResult r = run_supervised(plan, sim::default_backend());
+    // Liveness under policy: the run quiesces within its bound, and every
+    // worker lineage resolved — a result arrived or the failure escalated.
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GE(r.results + r.supfails, kSupWorkers);
+    // Structural escalation identity: every exhausted or unplaceable
+    // lineage escalated exactly once, somewhere.
+    EXPECT_EQ(r.sup.budgets_exhausted + r.sup.restart_posts_failed,
+              r.sup.escalations_delivered + r.sup.escalations_dropped);
+    // Recovery-path hygiene: counters consistent, no heap residue, and the
+    // O(1) live counters did not drift across halt/reclaim/rejoin cycles.
+    EXPECT_EQ(r.dead_letters, r.dead_letter_traces);
+    EXPECT_EQ(r.tasks_started, r.tasks_finished);
+    EXPECT_EQ(r.heap_in_use, 0u);
+    EXPECT_TRUE(r.live_counts_ok);
+  }
+}
+
+TEST_P(SupervisedSweep, StormKeepsLivenessInvariantsAndReplays) {
+  const flex::FaultPlan plan = sup_storm_mix(GetParam());
+  const SupRunResult a =
+      run_supervised(plan, sim::default_backend());
+  // Lossy channels can eat results, so only the structural invariants are
+  // asserted — plus bit-identical replay of the whole trajectory.
+  EXPECT_FALSE(a.timed_out);
+  EXPECT_EQ(a.sup.budgets_exhausted + a.sup.restart_posts_failed,
+            a.sup.escalations_delivered + a.sup.escalations_dropped);
+  EXPECT_EQ(a.dead_letters, a.dead_letter_traces);
+  EXPECT_EQ(a.tasks_started, a.tasks_finished);
+  EXPECT_EQ(a.heap_in_use, 0u);
+  EXPECT_TRUE(a.live_counts_ok);
+  const SupRunResult b =
+      run_supervised(plan, sim::default_backend());
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST_P(SupervisedSweep, SupervisedReplayIsBackendIdentical) {
+  const flex::FaultPlan plan = sup_halt_recover_mix(GetParam());
+  const SupRunResult fibers = run_supervised(plan, sim::Backend::fibers);
+  const SupRunResult threads = run_supervised(plan, sim::Backend::threads);
+  EXPECT_EQ(fibers.key(), threads.key());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupervisedSweep,
+                         ::testing::ValuesIn(chaos_seeds()));
 
 }  // namespace
 }  // namespace pisces::rt

@@ -353,5 +353,158 @@ TEST(Menu, FaultCommandBuildsAndClearsThePlan) {
   EXPECT_NE(out.str().find("usage: fault"), std::string::npos);
 }
 
+TEST(Persistence, RecoveryFaultFamiliesRoundTripBitExactly) {
+  auto cfg = Configuration::simple(2);
+  cfg.faults.seed = 99;
+  cfg.faults.pe_halts.push_back({4, 2'000'000});
+  cfg.faults.pe_slowdowns.push_back({3, 1'000'000, 5'000'000, 1.7});
+  cfg.faults.bus_partitions.push_back({1, 2, 500'000, 1'500'000});
+  cfg.faults.pe_recoveries.push_back({4, 3'000'000});
+  std::stringstream ss;
+  cfg.save(ss);
+  Configuration back = Configuration::load(ss);
+  ASSERT_EQ(back.faults.pe_slowdowns.size(), 1u);
+  EXPECT_EQ(back.faults.pe_slowdowns[0].pe, 3);
+  EXPECT_EQ(back.faults.pe_slowdowns[0].from, 1'000'000);
+  EXPECT_EQ(back.faults.pe_slowdowns[0].until, 5'000'000);
+  // Bit-exact factor: the replayed run charges identical burst lengths.
+  EXPECT_EQ(back.faults.pe_slowdowns[0].factor, 1.7);
+  ASSERT_EQ(back.faults.bus_partitions.size(), 1u);
+  EXPECT_EQ(back.faults.bus_partitions[0].cluster_a, 1);
+  EXPECT_EQ(back.faults.bus_partitions[0].cluster_b, 2);
+  EXPECT_EQ(back.faults.bus_partitions[0].from, 500'000);
+  EXPECT_EQ(back.faults.bus_partitions[0].until, 1'500'000);
+  ASSERT_EQ(back.faults.pe_recoveries.size(), 1u);
+  EXPECT_EQ(back.faults.pe_recoveries[0].pe, 4);
+  EXPECT_EQ(back.faults.pe_recoveries[0].at, 3'000'000);
+  EXPECT_TRUE(back.validate(nasa_spec()).empty());
+}
+
+TEST(Persistence, SupervisionRoundTripsAndDefaultStaysImplicit) {
+  auto cfg = Configuration::simple(1);
+  {
+    std::stringstream ss;
+    cfg.save(ss);
+    // Supervision off is not written: pre-supervision readers stay happy.
+    EXPECT_EQ(ss.str().find("supervision"), std::string::npos);
+  }
+  cfg.supervision.enabled = true;
+  cfg.supervision.max_restarts = 5;
+  cfg.supervision.backoff_base = 123'456;
+  cfg.supervision.backoff_factor = 1.5;
+  cfg.supervision.backoff_cap = 9'000'000;
+  cfg.supervision.migrate = false;
+  std::stringstream ss;
+  cfg.save(ss);
+  Configuration back = Configuration::load(ss);
+  EXPECT_TRUE(back.supervision.enabled);
+  EXPECT_EQ(back.supervision.max_restarts, 5);
+  EXPECT_EQ(back.supervision.backoff_base, 123'456);
+  EXPECT_EQ(back.supervision.backoff_factor, 1.5);
+  EXPECT_EQ(back.supervision.backoff_cap, 9'000'000);
+  EXPECT_FALSE(back.supervision.migrate);
+}
+
+TEST(Validation, RejectsMalformedRecoveryFaultFamilies) {
+  auto expect_rejected = [](const char* what,
+                            const std::function<void(Configuration&)>& poke) {
+    auto cfg = Configuration::simple(2);
+    poke(cfg);
+    EXPECT_FALSE(cfg.validate(flex::MachineSpec{}).empty()) << what;
+  };
+  expect_rejected("slowdown factor of zero", [](Configuration& c) {
+    c.faults.pe_slowdowns.push_back({3, 0, 1000, 0.0});
+  });
+  expect_rejected("negative slowdown factor", [](Configuration& c) {
+    c.faults.pe_slowdowns.push_back({3, 0, 1000, -2.0});
+  });
+  expect_rejected("empty slowdown window", [](Configuration& c) {
+    c.faults.pe_slowdowns.push_back({3, 1000, 1000, 2.0});
+  });
+  expect_rejected("slowdown on a Unix PE", [](Configuration& c) {
+    c.faults.pe_slowdowns.push_back({1, 0, 1000, 2.0});
+  });
+  expect_rejected("partition of a cluster with itself", [](Configuration& c) {
+    c.faults.bus_partitions.push_back({1, 1, 0, 1000});
+  });
+  expect_rejected("partition naming an unconfigured cluster",
+                  [](Configuration& c) {
+                    c.faults.bus_partitions.push_back({1, 7, 0, 1000});
+                  });
+  expect_rejected("empty partition window", [](Configuration& c) {
+    c.faults.bus_partitions.push_back({1, 2, 1000, 1000});
+  });
+  expect_rejected("recovery of a PE that never halted", [](Configuration& c) {
+    c.faults.pe_recoveries.push_back({4, 100});
+  });
+  expect_rejected("recovery scheduled before the halt", [](Configuration& c) {
+    c.faults.pe_halts.push_back({4, 500});
+    c.faults.pe_recoveries.push_back({4, 400});
+  });
+  // And the well-formed versions pass.
+  auto ok = Configuration::simple(2);
+  ok.faults.pe_halts.push_back({4, 500});
+  ok.faults.pe_recoveries.push_back({4, 600});
+  ok.faults.pe_slowdowns.push_back({3, 0, 1000, 2.0});
+  ok.faults.bus_partitions.push_back({1, 2, 0, 1000});
+  EXPECT_TRUE(ok.validate(flex::MachineSpec{}).empty());
+}
+
+TEST(Validation, RejectsMalformedSupervision) {
+  auto expect_rejected = [](const char* what,
+                            const std::function<void(Configuration&)>& poke) {
+    auto cfg = Configuration::simple(1);
+    cfg.supervision.enabled = true;
+    poke(cfg);
+    EXPECT_FALSE(cfg.validate(flex::MachineSpec{}).empty()) << what;
+  };
+  expect_rejected("negative restart budget",
+                  [](Configuration& c) { c.supervision.max_restarts = -1; });
+  expect_rejected("zero backoff base",
+                  [](Configuration& c) { c.supervision.backoff_base = 0; });
+  expect_rejected("shrinking backoff factor",
+                  [](Configuration& c) { c.supervision.backoff_factor = 0.5; });
+  expect_rejected("cap below base", [](Configuration& c) {
+    c.supervision.backoff_base = 1000;
+    c.supervision.backoff_cap = 500;
+  });
+}
+
+TEST(Menu, FaultRecoveryAndSuperviseCommands) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  menu.apply("fault slow 3 1000000 5000000 1.7", out);
+  menu.apply("fault partition 1 2 500000 1500000", out);
+  menu.apply("fault halt 4 2000000", out);
+  menu.apply("fault recover 4 3000000", out);
+  const auto& p = menu.current().faults;
+  ASSERT_EQ(p.pe_slowdowns.size(), 1u);
+  EXPECT_EQ(p.pe_slowdowns[0].pe, 3);
+  EXPECT_DOUBLE_EQ(p.pe_slowdowns[0].factor, 1.7);
+  ASSERT_EQ(p.bus_partitions.size(), 1u);
+  EXPECT_EQ(p.bus_partitions[0].cluster_b, 2);
+  ASSERT_EQ(p.pe_recoveries.size(), 1u);
+  EXPECT_EQ(p.pe_recoveries[0].at, 3'000'000);
+  EXPECT_TRUE(p.any());
+  menu.apply("fault clear", out);
+  EXPECT_FALSE(menu.current().faults.any());
+
+  menu.apply("supervise on", out);
+  menu.apply("supervise restarts 7", out);
+  menu.apply("supervise backoff 100000 3.0 4000000", out);
+  menu.apply("supervise migrate off", out);
+  const auto& s = menu.current().supervision;
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.max_restarts, 7);
+  EXPECT_EQ(s.backoff_base, 100'000);
+  EXPECT_DOUBLE_EQ(s.backoff_factor, 3.0);
+  EXPECT_EQ(s.backoff_cap, 4'000'000);
+  EXPECT_FALSE(s.migrate);
+  menu.apply("supervise off", out);
+  EXPECT_FALSE(menu.current().supervision.enabled);
+  menu.apply("supervise", out);
+  EXPECT_NE(out.str().find("usage: supervise"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pisces::config
