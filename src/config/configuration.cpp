@@ -90,6 +90,9 @@ std::vector<std::string> Configuration::validate(const flex::MachineSpec& spec) 
   if (message_heap_bytes > spec.shared_memory_bytes) {
     err("message heap exceeds shared memory");
   }
+  for (auto& problem : topology.validate(spec.pe_count)) {
+    errors.push_back("topology: " + std::move(problem));
+  }
   for (auto& problem : faults.validate(spec)) errors.push_back(std::move(problem));
   // Partition windows are cluster-level faults: cross-check the pair
   // against the configured cluster numbers (FaultPlan::validate only sees
@@ -134,6 +137,12 @@ void Configuration::save(std::ostream& os) const {
   }
   if (collective_fanout != 4) {
     os << "collective-fanout " << collective_fanout << "\n";
+  }
+  if (topology != flex::TopologySpec{}) {
+    os << "topology " << flex::topology_name(topology.kind) << " "
+       << topology.pes_per_cluster << " " << topology.backbone_access << " "
+       << topology.backbone_per_word << " " << topology.numa_hop_per_word
+       << "\n";
   }
   os << "trace";
   for (int k = 0; k < trace::kEventKindCount; ++k) {
@@ -239,6 +248,17 @@ Configuration Configuration::load(std::istream& is) {
       cfg.clusters.push_back(std::move(c));
     } else if (key == "collective-fanout") {
       ls >> cfg.collective_fanout;
+    } else if (key == "topology") {
+      std::string kind;
+      ls >> kind;
+      auto t = flex::topology_from_name(kind);
+      if (!t.has_value()) {
+        throw std::runtime_error("Configuration::load: unknown topology '" +
+                                 kind + "'");
+      }
+      cfg.topology.kind = *t;
+      ls >> cfg.topology.pes_per_cluster >> cfg.topology.backbone_access >>
+          cfg.topology.backbone_per_word >> cfg.topology.numa_hop_per_word;
     } else if (key == "trace") {
       // Older files carry fewer flags; extraction failure leaves `on` zero,
       // so kinds the file predates simply load as off.

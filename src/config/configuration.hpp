@@ -91,6 +91,11 @@ struct Configuration {
   /// barrier/reduce). Each tree node forwards to at most `k` children, so a
   /// collective over n parties costs O(log_k n) charged hops.
   int collective_fanout = 4;
+  /// Interconnect topology the run boots the machine with (`topology`
+  /// config token). Default: the paper's single shared bus; `hier`/`numa`
+  /// carve the PEs into hardware clusters with per-cluster buses bridged by
+  /// a backbone, scaling the model to flex::kMaxPes PEs.
+  flex::TopologySpec topology;
 
   [[nodiscard]] const ClusterConfig* find_cluster(int number) const;
   [[nodiscard]] int cluster_count() const { return static_cast<int>(clusters.size()); }

@@ -110,6 +110,41 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
     int k = 0;
     if (is >> k && k >= 2) cfg_.collective_fanout = k;
     else out << "usage: fanout <k>  (k >= 2)\n";
+  } else if (cmd == "topology") {
+    std::string kind;
+    if (!(is >> kind)) {
+      out << "usage: topology <shared|hier|numa> [pes-per-cluster <n>] "
+             "[backbone-access <t>] [backbone-per-word <t>] "
+             "[hop-per-word <t>]\n";
+    } else {
+      auto t = flex::topology_from_name(kind);
+      if (!t.has_value()) {
+        out << "unknown topology '" << kind << "' (use shared, hier, numa)\n";
+      } else {
+        auto next = cfg_.topology;
+        next.kind = *t;
+        std::string opt;
+        bool ok = true;
+        while (ok && is >> opt) {
+          if (opt == "pes-per-cluster") ok = bool(is >> next.pes_per_cluster);
+          else if (opt == "backbone-access") ok = bool(is >> next.backbone_access);
+          else if (opt == "backbone-per-word") ok = bool(is >> next.backbone_per_word);
+          else if (opt == "hop-per-word") ok = bool(is >> next.numa_hop_per_word);
+          else {
+            out << "unknown topology option '" << opt << "'\n";
+            ok = false;
+          }
+        }
+        if (ok) {
+          auto problems = next.validate(spec_.pe_count);
+          if (problems.empty()) {
+            cfg_.topology = next;
+          } else {
+            for (const auto& p : problems) out << "error: " << p << "\n";
+          }
+        }
+      }
+    }
   } else if (cmd == "trace") {
     std::string kind;
     std::string setting;

@@ -181,7 +181,8 @@ double ForceContext::collective_sync(
     // only when it is actually blocked gathering: an early arrival must not
     // wake a parent blocked elsewhere (e.g. inside the region body).
     const std::size_t parent = (p - 1) / k;
-    proc_->compute(rt_->costs().collective_signal);
+    mmos::Proc* pp = st_->procs[parent];
+    rt_->charge_signal(*proc_, pp != nullptr ? pp->pe() : proc_->pe());
     ++st_->nodes[parent].arrived;
     if (st_->nodes[parent].gathering) st_->procs[parent]->wake();
     while (st_->barrier_generation == my_gen) proc_->block();
@@ -206,7 +207,7 @@ double ForceContext::collective_sync(
       for (std::size_t g = gfirst; g < gend; ++g) wave.push_back(g);
       continue;
     }
-    proc_->compute(rt_->costs().collective_signal);
+    rt_->charge_signal(*proc_, cp->pe());
     cp->wake();
   }
   return contribute != nullptr ? st_->reduce_result : 0.0;

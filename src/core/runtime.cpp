@@ -66,6 +66,15 @@ void Runtime::boot() {
     throw std::invalid_argument(os.str());
   }
 
+  // Boot the machine with the configured interconnect. A default (shared)
+  // configuration leaves whatever the machine was constructed with intact,
+  // so directly-built hier/numa machines (benches, tests) keep their
+  // topology under a plain config.
+  if (cfg_.topology != flex::TopologySpec{} &&
+      cfg_.topology != sys_->machine().spec().topology) {
+    sys_->machine().configure_topology(cfg_.topology);
+  }
+
   if (!sys_->loaded()) sys_->load(cfg_.loadfile);
 
   // Shared-memory layout: system tables, the message heap, the SHARED
@@ -136,6 +145,25 @@ void Runtime::arm_faults() {
   if (!cfg_.faults.any()) return;
   faults_ = std::make_unique<flex::FaultInjector>(cfg_.faults);
   sys_->machine().set_fault_injector(faults_.get());
+  // Under hier/numa, a partition between two *configured* clusters becomes a
+  // window on the backbone link joining their hardware clusters (located by
+  // each cluster's primary PE). A pair that shares a hardware cluster has no
+  // backbone link to sever — its window is inert, matching the shared-bus
+  // semantics where only cross-cluster traffic is droppable.
+  auto& ic = sys_->machine().interconnect();
+  if (ic.kind() != flex::Topology::shared && !cfg_.faults.bus_partitions.empty()) {
+    std::vector<flex::PartitionIndex::Window> links;
+    for (const auto& p : cfg_.faults.bus_partitions) {
+      const auto* ca = cfg_.find_cluster(p.cluster_a);
+      const auto* cb = cfg_.find_cluster(p.cluster_b);
+      if (ca == nullptr || cb == nullptr) continue;  // rejected by validate()
+      const int ha = ic.cluster_of(ca->primary_pe);
+      const int hb = ic.cluster_of(cb->primary_pe);
+      if (ha == hb) continue;
+      links.push_back({ha, hb, p.from, p.until});
+    }
+    faults_->set_backbone_links(std::move(links));
+  }
   auto& eng = sys_->engine();
   const sim::Tick now = eng.now();
   for (const auto& h : cfg_.faults.pe_halts) {
@@ -626,9 +654,10 @@ void Runtime::serve_window(Cluster& cl, TaskContext& ctl, const Message& m) {
   // When the owner's task was placed on another PE, the controller pulls
   // the window across the bus instead of out of its own local memory.
   const bool cross_pe = owner->pe != ctl.proc().pe();
+  const int owner_pe = owner->pe;
   auto charge_copy = [&] {
     if (cross_pe) {
-      charge_shared(ctl.proc(), w.bytes());
+      charge_transfer(ctl.proc(), w.bytes(), owner_pe, ctl.proc().pe());
     } else {
       ctl.proc().compute(static_cast<sim::Tick>(w.elements()) *
                          costs().local_access);
@@ -790,8 +819,28 @@ void Runtime::serve_file_window(Cluster& cl, TaskContext& ctl, const Message& m)
 
 void Runtime::charge_shared(mmos::Proc& proc, std::size_t bytes) {
   const sim::Tick now = sys_->engine().now();
-  const sim::Tick done = sys_->machine().shared_transfer(now, bytes);
+  const sim::Tick done = sys_->machine().shared_transfer(now, bytes, proc.pe());
   if (done > now) proc.compute(done - now);
+}
+
+void Runtime::charge_transfer(mmos::Proc& proc, std::size_t bytes, int from_pe,
+                              int to_pe) {
+  const sim::Tick now = sys_->engine().now();
+  const sim::Tick done =
+      sys_->machine().message_transfer(now, bytes, from_pe, to_pe);
+  if (done > now) proc.compute(done - now);
+}
+
+void Runtime::charge_signal(mmos::Proc& proc, int peer_pe) {
+  proc.compute(costs().collective_signal);
+  auto& machine = sys_->machine();
+  if (machine.interconnect().crosses_backbone(proc.pe(), peer_pe)) {
+    // The locally-polled flag lives in the peer's cluster: publishing it
+    // moves one 8-byte word across the backbone route.
+    const sim::Tick now = sys_->engine().now();
+    const sim::Tick done = machine.message_transfer(now, 8, proc.pe(), peer_pe);
+    if (done > now) proc.compute(done - now);
+  }
 }
 
 std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc) {
@@ -855,7 +904,7 @@ void Runtime::heap_release(std::size_t offset) {
 
 bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
                    std::string type, std::vector<Value> args,
-                   bool to_reply_queue) {
+                   bool to_reply_queue, int via_pe) {
   if (auto it = message_arity_.find(type); it != message_arity_.end() &&
                                            static_cast<int>(args.size()) != it->second) {
     throw std::logic_error("message '" + type + "' declared with " +
@@ -879,11 +928,25 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
                 msg.type + " (no message storage)");
     return false;
   }
+  int sender_pe = 0;
+  if (sender_proc != nullptr) {
+    sender_pe = sender_proc->pe();
+  } else if (TaskRecord* sender = live_record(from)) {
+    sender_pe = sender->pe;  // proc-less sends (environment) still have a home PE
+  }
+  // The transfer is billed from the PE that physically re-issues it — the
+  // relay's PE for broadcast tree hops — while the trace keeps the logical
+  // sender. The receiver may have died while the sender blocked on the
+  // heap, so re-resolve; the copy still travels to where the task lived.
+  const int bill_from = via_pe >= 0 ? via_pe : sender_pe;
+  int dest_pe = bill_from;
+  if (TaskRecord* dest = live_record(to)) dest_pe = dest->pe;
   if (sender_proc != nullptr) {
     sender_proc->compute(costs().heap_alloc);
-    charge_shared(*sender_proc, bytes);
+    charge_transfer(*sender_proc, bytes, bill_from, dest_pe);
   } else {
-    sys_->machine().shared_transfer(sys_->engine().now(), bytes);
+    sys_->machine().message_transfer(sys_->engine().now(), bytes, bill_from,
+                                     dest_pe);
   }
   msg.heap_offset = off;
   msg.heap_bytes = bytes;
@@ -891,12 +954,6 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   msg.seq = ++next_msg_seq_;
   ++stats_.messages_sent;
   stats_.message_bytes_sent += bytes;
-  int sender_pe = 0;
-  if (sender_proc != nullptr) {
-    sender_pe = sender_proc->pe();
-  } else if (TaskRecord* sender = live_record(from)) {
-    sender_pe = sender->pe;  // proc-less sends (environment) still have a home PE
-  }
   trace_event(trace::EventKind::msg_send, from, to, sender_pe, msg.seq, msg.type);
 
   // Fault injection. Supervision control traffic (_CHILDTERM, _SUPFAIL)
@@ -906,16 +963,26 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   if (faults_ != nullptr && msg.type != "_CHILDTERM" &&
       msg.type != "_SUPFAIL") {
     const sim::Tick now = sys_->engine().now();
-    // A partition window between the two clusters refuses the transfer
-    // outright (checked before the per-transfer fault draw: a partitioned
-    // bus never arbitrates the message at all). The transfer was already
-    // charged — the copy is dropped at the cluster boundary.
-    if (from.cluster != to.cluster &&
-        faults_->partitioned(from.cluster, to.cluster, now)) {
+    auto& ic = sys_->machine().interconnect();
+    // A partition window refuses the transfer outright (checked before the
+    // per-transfer fault draw: a partitioned bus never arbitrates the
+    // message at all). The transfer was already charged — the copy is
+    // dropped at the cluster boundary. Under the shared topology the window
+    // severs traffic between the two *configured* clusters; under hier/numa
+    // it severs the backbone link between their hardware clusters, so only
+    // routes that actually cross that link are affected.
+    const bool partition_hit =
+        ic.kind() == flex::Topology::shared
+            ? (from.cluster != to.cluster &&
+               faults_->partitioned(from.cluster, to.cluster, now))
+            : (ic.crosses_backbone(bill_from, dest_pe) &&
+               faults_->backbone_partitioned(ic.cluster_of(bill_from),
+                                             ic.cluster_of(dest_pe), now));
+    if (partition_hit) {
       ++faults_->stats().bus_partition_drops;
       trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
                   "bus-partition " + msg.type);
-      sys_->machine().bus().note_faulted();
+      ic.note_faulted(bill_from, dest_pe);
       heap_release(off);
       return true;
     }
@@ -925,15 +992,15 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
         // Asynchronous sends don't learn about the loss; the send succeeds.
         trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
                     "bus-lose " + msg.type);
-        sys_->machine().bus().note_faulted();
+        ic.note_faulted(bill_from, dest_pe);
         heap_release(off);
         return true;
       case flex::BusFault::duplicate:
         if (auto doff = msg_heap_->allocate(bytes); doff.has_value()) {
           trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
                       "bus-dup " + msg.type);
-          sys_->machine().bus().note_faulted();
-          sys_->machine().shared_transfer(now, bytes);
+          ic.note_faulted(bill_from, dest_pe);
+          sys_->machine().message_transfer(now, bytes, bill_from, dest_pe);
           Message dup = msg;
           dup.heap_offset = *doff;
           dup.seq = ++next_msg_seq_;
@@ -946,7 +1013,7 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
         const sim::Tick delay = cfg_.faults.bus_delay_ticks;
         trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
                     "bus-delay " + msg.type);
-        sys_->machine().bus().stall(now, delay);
+        ic.stall(now, bill_from, dest_pe, delay);
         sys_->engine().schedule(
             now + delay,
             [this, m = std::move(msg), to, to_reply_queue]() mutable {
@@ -984,9 +1051,10 @@ bool Runtime::deliver(Message msg, TaskId to, bool to_reply_queue) {
 }
 
 void Runtime::dispatch_broadcast_copy(const std::shared_ptr<BroadcastPlan>& plan,
-                                      std::size_t pos, mmos::Proc* sender_proc) {
+                                      std::size_t pos, mmos::Proc* sender_proc,
+                                      int via_pe) {
   if (post(plan->origin, sender_proc, plan->targets[pos - 1], plan->type,
-           plan->args)) {
+           plan->args, /*to_reply_queue=*/false, via_pe)) {
     ++stats_.broadcast_copies;
   }
   // Forward regardless of this copy's own fate (dead letter, lost on the
@@ -1000,6 +1068,16 @@ void Runtime::schedule_broadcast_children(
   const std::size_t n = plan->targets.size();
   const std::size_t k = static_cast<std::size_t>(plan->fanout);
   const sim::Tick now = sys_->engine().now();
+  // Relayed copies are re-issued from the PE the copy for `pos` landed on,
+  // so the hop is billed from the relay's cluster (the origin stays the
+  // traced sender). Position 0 is the root: its children bill from the
+  // origin normally.
+  int via_pe = -1;
+  if (pos > 0) {
+    if (TaskRecord* relay = live_record(plan->targets[pos - 1])) {
+      via_pe = relay->pe;
+    }
+  }
   for (std::size_t j = 0; j < k; ++j) {
     const std::size_t child = k * pos + 1 + j;
     if (child > n) break;
@@ -1008,8 +1086,8 @@ void Runtime::schedule_broadcast_children(
     // and only their bus transfers serialize (inside post -> shared_transfer).
     const sim::Tick at =
         now + static_cast<sim::Tick>(j + 1) * costs().msg_forward_overhead;
-    sys_->engine().schedule(at, [this, plan, child] {
-      dispatch_broadcast_copy(plan, child, nullptr);
+    sys_->engine().schedule(at, [this, plan, child, via_pe] {
+      dispatch_broadcast_copy(plan, child, nullptr, via_pe);
     });
   }
 }

@@ -241,14 +241,27 @@ class Runtime {
   [[nodiscard]] const flex::CostModel& costs() const {
     return sys_->machine().costs();
   }
-  /// Charge `proc` for moving `bytes` through shared memory (latency + bus).
+  /// Charge `proc` for moving `bytes` through shared memory on its own
+  /// cluster bus (latency + bus occupancy).
   void charge_shared(mmos::Proc& proc, std::size_t bytes);
+  /// Charge `proc` for a PE-to-PE copy of `bytes` (window pulls): one
+  /// cluster-bus transfer when the PEs share a hardware cluster, a
+  /// store-and-forward route across the backbone otherwise.
+  void charge_transfer(mmos::Proc& proc, std::size_t bytes, int from_pe,
+                       int to_pe);
+  /// Charge `proc` for one collective-tree signal hop to `peer_pe`: the
+  /// fixed signal cost, plus a backbone transfer of the 8-byte flag word
+  /// when the peer lives in another hardware cluster.
+  void charge_signal(mmos::Proc& proc, int peer_pe);
 
   /// Deliver a message (sender side already charged). Returns false and
   /// counts a dead letter if `to` is stale. `sender_proc` may be null for
-  /// environment-originated messages.
+  /// environment-originated messages. `via_pe` overrides the PE the
+  /// transfer is billed from (broadcast relay hops re-issue copies from the
+  /// relay's PE, not the origin's); the traced sender PE is unaffected.
   bool post(TaskId from, mmos::Proc* sender_proc, TaskId to, std::string type,
-            std::vector<Value> args, bool to_reply_queue = false);
+            std::vector<Value> args, bool to_reply_queue = false,
+            int via_pe = -1);
   /// Allocate message bytes in the shared heap, blocking `proc` (if given)
   /// until space is available.
   std::size_t heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc);
@@ -286,7 +299,8 @@ class Runtime {
   /// children, which are dispatched from the sender's own PE (and may block
   /// on a full heap there); relayed copies run as engine events.
   void dispatch_broadcast_copy(const std::shared_ptr<BroadcastPlan>& plan,
-                               std::size_t pos, mmos::Proc* sender_proc);
+                               std::size_t pos, mmos::Proc* sender_proc,
+                               int via_pe = -1);
   void schedule_broadcast_children(const std::shared_ptr<BroadcastPlan>& plan,
                                    std::size_t pos);
 

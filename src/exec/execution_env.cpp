@@ -223,9 +223,18 @@ void ExecutionEnvironment::dump_state(std::ostream& out) const {
     out << " " << label << "=" << bytes;
   }
   out << "\n";
-  out << "  bus: transfers=" << rt_->machine().bus().transfers()
-      << " busy=" << rt_->machine().bus().busy_ticks()
-      << " waited=" << rt_->machine().bus().wait_ticks() << "\n";
+  const auto& ic = rt_->machine().interconnect();
+  const auto totals = ic.totals();
+  out << "  bus: transfers=" << totals.transfers << " busy=" << totals.busy_ticks
+      << " waited=" << totals.wait_ticks << "\n";
+  if (ic.bus_count() > 1) {
+    for (std::size_t i = 0; i < ic.bus_count(); ++i) {
+      const auto& b = ic.bus_at(i);
+      out << "    " << ic.bus_label(i) << ": transfers=" << b.transfers()
+          << " busy=" << b.busy_ticks() << " waited=" << b.wait_ticks()
+          << " faulted=" << b.faulted_transfers() << "\n";
+    }
+  }
   for (const auto& cl : rt_->clusters()) {
     out << "  cluster " << cl->cfg.number << ": free-slots=" << cl->free_user_slots()
         << " held-initiates=" << cl->pending.size() << "\n";
@@ -320,6 +329,19 @@ void ExecutionEnvironment::display_organization(std::ostream& out) const {
   }
   out << "|            message-passing network (shared memory)         |\n";
   out << "+------------------------------------------------------------+\n";
+  const auto& ic = rt_->machine().interconnect();
+  out << "interconnect: " << flex::topology_name(ic.kind());
+  if (ic.kind() != flex::Topology::shared) {
+    out << " (" << ic.cluster_count() << " hardware clusters, "
+        << ic.spec().pes_per_cluster << " PEs each)";
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < ic.bus_count(); ++i) {
+    const auto& b = ic.bus_at(i);
+    out << "  " << ic.bus_label(i) << ": transfers=" << b.transfers()
+        << " busy=" << b.busy_ticks() << " waited=" << b.wait_ticks()
+        << " faulted=" << b.faulted_transfers() << "\n";
+  }
   out << "dead-letters: " << rt_->stats().dead_letters << "\n";
   if (const auto* fi = rt_->fault_injector()) {
     const auto& fs = fi->stats();

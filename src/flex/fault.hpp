@@ -91,6 +91,39 @@ struct FaultPlan {
 /// Verdict for one bus transfer.
 enum class BusFault { none, lose, duplicate, delay };
 
+/// Index over [from, until) windows keyed by an unordered pair, built once
+/// and queried on every transfer. Simulation time is almost always
+/// monotonic, so the index keeps windows sorted by `from` and maintains a
+/// small active set advanced with the query tick: a quiet plan (or one whose
+/// windows have all expired) answers in O(1) amortized regardless of how
+/// many windows the plan carries. Non-monotonic queries (tests replaying
+/// earlier ticks) fall back to a full scan of the sorted list.
+class PartitionIndex {
+ public:
+  struct Window {
+    int a = 0;
+    int b = 0;
+    sim::Tick from = 0;
+    sim::Tick until = 0;
+  };
+
+  PartitionIndex() = default;
+  explicit PartitionIndex(std::vector<Window> windows);
+
+  /// True when a window over the unordered pair {a, b} covers `now`.
+  [[nodiscard]] bool active(int a, int b, sim::Tick now) const;
+
+  [[nodiscard]] bool empty() const { return windows_.empty(); }
+  [[nodiscard]] std::size_t size() const { return windows_.size(); }
+
+ private:
+  std::vector<Window> windows_;  // pair-normalized (a <= b), sorted by from
+  // Cursor state for monotonic queries; mutable because queries advance it.
+  mutable std::vector<std::size_t> active_;  // started, not yet expired
+  mutable std::size_t next_ = 0;             // first window not yet started
+  mutable sim::Tick watermark_ = 0;          // highest tick seen so far
+};
+
 /// Counters for faults actually injected (as opposed to planned); the chaos
 /// harness checks these against the runtime's recovery counters.
 struct FaultStats {
@@ -112,7 +145,14 @@ class FaultInjector {
   explicit FaultInjector(const FaultPlan& plan)
       : plan_(plan),
         bus_rng_(mix(plan.seed, 0xb5u)),
-        disk_rng_(mix(plan.seed, 0xd15cu)) {}
+        disk_rng_(mix(plan.seed, 0xd15cu)) {
+    std::vector<PartitionIndex::Window> windows;
+    windows.reserve(plan_.bus_partitions.size());
+    for (const auto& p : plan_.bus_partitions) {
+      windows.push_back({p.cluster_a, p.cluster_b, p.from, p.until});
+    }
+    partition_index_ = PartitionIndex(std::move(windows));
+  }
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
@@ -143,15 +183,27 @@ class FaultInjector {
     return f;
   }
 
-  /// True when a partition window currently separates the two clusters.
+  /// True when a partition window currently separates the two *configured*
+  /// clusters (the FaultPlan's cluster numbers). Indexed: amortized O(1)
+  /// per query on monotonic ticks, however many windows the plan carries.
   [[nodiscard]] bool partitioned(int cluster_a, int cluster_b,
                                  sim::Tick now) const {
-    for (const auto& p : plan_.bus_partitions) {
-      const bool pair = (p.cluster_a == cluster_a && p.cluster_b == cluster_b) ||
-                        (p.cluster_a == cluster_b && p.cluster_b == cluster_a);
-      if (pair && now >= p.from && now < p.until) return true;
-    }
-    return false;
+    return partition_index_.active(cluster_a, cluster_b, now);
+  }
+
+  /// Bind the plan's partitions to backbone links of a non-shared topology:
+  /// each window names a pair of *hardware* clusters whose backbone route is
+  /// severed while active. The runtime derives these from the configured
+  /// clusters' primary PEs at boot.
+  void set_backbone_links(std::vector<PartitionIndex::Window> links) {
+    backbone_index_ = PartitionIndex(std::move(links));
+  }
+
+  /// True when a partition window severs the backbone between the two
+  /// hardware clusters at `now` (always false when no links are bound).
+  [[nodiscard]] bool backbone_partitioned(int hw_a, int hw_b,
+                                          sim::Tick now) const {
+    return backbone_index_.active(hw_a, hw_b, now);
   }
 
   [[nodiscard]] FaultStats& stats() { return stats_; }
@@ -170,6 +222,8 @@ class FaultInjector {
   FaultPlan plan_;
   sim::Rng bus_rng_;
   sim::Rng disk_rng_;
+  PartitionIndex partition_index_;
+  PartitionIndex backbone_index_;
   std::set<int> halted_;
   FaultStats stats_;
 };

@@ -1,0 +1,188 @@
+#include "flex/interconnect.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pisces::flex {
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::shared: return "shared";
+    case Topology::hier: return "hier";
+    case Topology::numa: return "numa";
+  }
+  return "?";
+}
+
+std::optional<Topology> topology_from_name(const std::string& name) {
+  if (name == "shared") return Topology::shared;
+  if (name == "hier") return Topology::hier;
+  if (name == "numa") return Topology::numa;
+  return std::nullopt;
+}
+
+int TopologySpec::hw_cluster_count(int pe_count) const {
+  if (kind == Topology::shared || pes_per_cluster < 1) return 1;
+  return (pe_count + pes_per_cluster - 1) / pes_per_cluster;
+}
+
+std::vector<std::string> TopologySpec::validate(int pe_count) const {
+  std::vector<std::string> problems;
+  if (pe_count < 1 || pe_count > kMaxPes) {
+    problems.push_back("pe count " + std::to_string(pe_count) +
+                       " outside 1.." + std::to_string(kMaxPes));
+  }
+  if (kind == Topology::shared) return problems;
+  if (pes_per_cluster < 1) {
+    problems.push_back("pes-per-cluster must be >= 1 (got " +
+                       std::to_string(pes_per_cluster) + ")");
+  } else if (hw_cluster_count(pe_count) > kMaxHwClusters) {
+    problems.push_back(std::to_string(pe_count) + " PEs at " +
+                       std::to_string(pes_per_cluster) +
+                       " per cluster gives " +
+                       std::to_string(hw_cluster_count(pe_count)) +
+                       " hardware clusters (max " +
+                       std::to_string(kMaxHwClusters) + ")");
+  }
+  if (backbone_access < 0) problems.push_back("backbone-access must be >= 0");
+  if (backbone_per_word < 0) problems.push_back("backbone-per-word must be >= 0");
+  if (kind == Topology::numa && numa_hop_per_word < 0) {
+    problems.push_back("hop-per-word must be >= 0");
+  }
+  return problems;
+}
+
+namespace {
+
+/// The paper's machine: every PE on one FIFO bus to shared memory. The
+/// arithmetic here is byte-for-byte the pre-topology Machine::shared_transfer
+/// path, so default configurations replay bit-identically.
+class SharedBusInterconnect final : public Interconnect {
+ public:
+  SharedBusInterconnect(TopologySpec spec, int pe_count, const CostModel& costs)
+      : Interconnect(spec, pe_count, costs) {
+    buses_.resize(1);
+    labels_.push_back("shared bus");
+  }
+
+  int cluster_of(int) const override { return 0; }
+  int cluster_count() const override { return 1; }
+
+  sim::Tick access(sim::Tick now, int, sim::Tick words) override {
+    return buses_[0].transfer(now, local_duration(words));
+  }
+
+  sim::Tick transfer(sim::Tick now, int, int, sim::Tick words) override {
+    return buses_[0].transfer(now, local_duration(words));
+  }
+
+  void stall(sim::Tick now, int, int, sim::Tick duration) override {
+    buses_[0].stall(now, duration);
+  }
+
+  void note_faulted(int, int) override { buses_[0].note_faulted(); }
+};
+
+/// Per-cluster buses bridged by one backbone bus. A transfer between PEs in
+/// the same hardware cluster occupies only that cluster's bus; a cross-cluster
+/// transfer store-and-forwards source bus -> backbone -> destination bus.
+/// `numa` additionally scales the backbone's per-word cost with the cluster
+/// distance, modelling tiered NUMA links.
+class MultiBusInterconnect final : public Interconnect {
+ public:
+  MultiBusInterconnect(TopologySpec spec, int pe_count, const CostModel& costs)
+      : Interconnect(spec, pe_count, costs),
+        clusters_(spec.hw_cluster_count(pe_count)) {
+    buses_.resize(static_cast<std::size_t>(clusters_) + 1);
+    for (int c = 0; c < clusters_; ++c) {
+      const int lo = c * spec_.pes_per_cluster + 1;
+      const int hi = std::min((c + 1) * spec_.pes_per_cluster, pe_count);
+      labels_.push_back("cluster " + std::to_string(c) + " bus (PEs " +
+                        std::to_string(lo) + "-" + std::to_string(hi) + ")");
+    }
+    labels_.push_back("backbone bus");
+  }
+
+  int cluster_of(int pe) const override {
+    if (pe < 1) return 0;  // environment / no home PE
+    const int c = (pe - 1) / spec_.pes_per_cluster;
+    return c < clusters_ ? c : clusters_ - 1;
+  }
+  int cluster_count() const override { return clusters_; }
+
+  sim::Tick access(sim::Tick now, int pe, sim::Tick words) override {
+    return cluster_bus(pe).transfer(now, local_duration(words));
+  }
+
+  sim::Tick transfer(sim::Tick now, int from_pe, int to_pe,
+                     sim::Tick words) override {
+    const int cf = cluster_of(from_pe);
+    const int ct = cluster_of(to_pe);
+    if (cf == ct) {
+      return buses_[static_cast<std::size_t>(cf)].transfer(
+          now, local_duration(words));
+    }
+    const sim::Tick t1 = buses_[static_cast<std::size_t>(cf)].transfer(
+        now, local_duration(words));
+    const sim::Tick t2 = backbone().transfer(t1, backbone_duration(cf, ct, words));
+    return buses_[static_cast<std::size_t>(ct)].transfer(
+        t2, local_duration(words));
+  }
+
+  void stall(sim::Tick now, int from_pe, int to_pe,
+             sim::Tick duration) override {
+    // The fault model charges the delay to the contended link of the route:
+    // the backbone for cross-cluster routes, the shared cluster bus otherwise.
+    if (cluster_of(from_pe) != cluster_of(to_pe)) {
+      backbone().stall(now, duration);
+    } else {
+      cluster_bus(from_pe).stall(now, duration);
+    }
+  }
+
+  void note_faulted(int from_pe, int to_pe) override {
+    if (cluster_of(from_pe) != cluster_of(to_pe)) {
+      backbone().note_faulted();
+    } else {
+      cluster_bus(from_pe).note_faulted();
+    }
+  }
+
+ private:
+  [[nodiscard]] Bus& cluster_bus(int pe) {
+    return buses_[static_cast<std::size_t>(cluster_of(pe))];
+  }
+  [[nodiscard]] Bus& backbone() { return buses_[static_cast<std::size_t>(clusters_)]; }
+
+  [[nodiscard]] sim::Tick backbone_duration(int cf, int ct,
+                                            sim::Tick words) const {
+    sim::Tick per_word = spec_.backbone_per_word;
+    if (spec_.kind == Topology::numa) {
+      per_word += static_cast<sim::Tick>(std::abs(cf - ct)) *
+                  spec_.numa_hop_per_word;
+    }
+    return spec_.backbone_access + words * per_word;
+  }
+
+  int clusters_;
+};
+
+}  // namespace
+
+std::unique_ptr<Interconnect> make_interconnect(const TopologySpec& spec,
+                                                int pe_count,
+                                                const CostModel& costs) {
+  auto problems = spec.validate(pe_count);
+  if (!problems.empty()) {
+    std::string msg = "invalid topology:";
+    for (const auto& p : problems) msg += " " + p + ";";
+    throw std::invalid_argument(msg);
+  }
+  if (spec.kind == Topology::shared) {
+    return std::make_unique<SharedBusInterconnect>(spec, pe_count, costs);
+  }
+  return std::make_unique<MultiBusInterconnect>(spec, pe_count, costs);
+}
+
+}  // namespace pisces::flex

@@ -10,9 +10,14 @@ Machine::Machine(sim::Engine& engine, MachineSpec spec, CostModel costs)
       costs_(costs),
       shared_memory_("shared", spec_.shared_memory_bytes) {
   if (spec_.pe_count < 1) throw std::invalid_argument("machine needs >= 1 PE");
+  if (spec_.pe_count > kMaxPes) {
+    throw std::invalid_argument("machine supports at most " +
+                                std::to_string(kMaxPes) + " PEs");
+  }
   if (spec_.unix_pe_count < 0 || spec_.unix_pe_count >= spec_.pe_count) {
     throw std::invalid_argument("unix_pe_count must leave at least one MMOS PE");
   }
+  interconnect_ = make_interconnect(spec_.topology, spec_.pe_count, costs_);
   locals_.reserve(static_cast<std::size_t>(spec_.pe_count));
   disks_.resize(static_cast<std::size_t>(spec_.pe_count));
   for (int pe = 1; pe <= spec_.pe_count; ++pe) {
@@ -22,6 +27,11 @@ Machine::Machine(sim::Engine& engine, MachineSpec spec, CostModel costs)
       disks_[static_cast<std::size_t>(pe - 1)] = std::make_unique<Disk>(costs_);
     }
   }
+}
+
+void Machine::configure_topology(const TopologySpec& topology) {
+  interconnect_ = make_interconnect(topology, spec_.pe_count, costs_);
+  spec_.topology = topology;
 }
 
 bool Machine::has_disk(int pe) const {

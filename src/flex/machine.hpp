@@ -9,6 +9,7 @@
 #include "flex/bus.hpp"
 #include "flex/cost_model.hpp"
 #include "flex/disk.hpp"
+#include "flex/interconnect.hpp"
 #include "flex/memory.hpp"
 #include "sim/engine.hpp"
 
@@ -20,12 +21,15 @@ class FaultInjector;
 /// Langley machine described in Section 11 of the paper: 20 NS32032 PEs,
 /// 1 MB local memory each, 2.25 MB shared memory, disks on PEs 1 and 2,
 /// Unix on PEs 1-2 (not available for PISCES tasks), MMOS on PEs 3-20.
+/// The topology spec scales the model past the paper's hardware: up to
+/// kMaxPes PEs joined by a shared, hierarchical, or NUMA interconnect.
 struct MachineSpec {
   int pe_count = 20;
   std::size_t local_memory_bytes = 1u << 20;        // 1 MB
   std::size_t shared_memory_bytes = 2359296;        // 2.25 MB
   int unix_pe_count = 2;                            // PEs 1..unix_pe_count
   std::vector<int> disk_pes = {1, 2};
+  TopologySpec topology;                            // default: one shared bus
 
   [[nodiscard]] int first_mmos_pe() const { return unix_pe_count + 1; }
 };
@@ -52,8 +56,19 @@ class Machine {
 
   [[nodiscard]] MemoryArena& local_memory(int pe);
   [[nodiscard]] MemoryArena& shared_memory() { return shared_memory_; }
-  [[nodiscard]] Bus& bus() { return bus_; }
+  /// The interconnect joining PEs to shared memory; every transfer-billing
+  /// path (messages, windows, broadcast relays, collective signals) routes
+  /// through it.
+  [[nodiscard]] Interconnect& interconnect() { return *interconnect_; }
+  [[nodiscard]] const Interconnect& interconnect() const { return *interconnect_; }
+  /// Legacy single-bus view: the first bus of the interconnect (the whole
+  /// machine under the default shared topology, cluster 0's bus otherwise).
+  [[nodiscard]] Bus& bus() { return interconnect_->bus_mutable(0); }
   [[nodiscard]] Disk& disk(int pe);
+
+  /// Replace the interconnect (e.g. when a Configuration carries a
+  /// non-default topology). Resets all bus statistics; call before boot.
+  void configure_topology(const TopologySpec& topology);
 
   /// Attach (or detach, with nullptr) the fault injector interpreting the
   /// run's FaultPlan. The machine does not own it; the runtime that armed
@@ -66,13 +81,20 @@ class Machine {
     return static_cast<sim::Tick>((bytes + 3) / 4);
   }
 
-  /// Move `bytes` through shared memory at or after `now`: charges the
-  /// fixed shared-access latency plus bus occupancy, serializing behind
-  /// in-flight transfers. Returns the completion tick.
-  sim::Tick shared_transfer(sim::Tick now, std::size_t bytes) {
-    const sim::Tick duration =
-        costs_.shared_access + words_for(bytes) * costs_.bus_per_word;
-    return bus_.transfer(now, duration);
+  /// Move `bytes` through shared memory at or after `now` on behalf of
+  /// `pe` (its cluster bus under hier/numa; the one bus under shared):
+  /// charges the fixed shared-access latency plus bus occupancy,
+  /// serializing behind in-flight transfers. Returns the completion tick.
+  sim::Tick shared_transfer(sim::Tick now, std::size_t bytes, int pe = 0) {
+    return interconnect_->access(now, pe, words_for(bytes));
+  }
+
+  /// Move `bytes` from `from_pe` to `to_pe`: one cluster-bus transfer when
+  /// the PEs share a hardware cluster, a store-and-forward route across the
+  /// backbone otherwise. Returns the completion tick of the last hop.
+  sim::Tick message_transfer(sim::Tick now, std::size_t bytes, int from_pe,
+                             int to_pe) {
+    return interconnect_->transfer(now, from_pe, to_pe, words_for(bytes));
   }
 
   void check_pe(int pe) const {
@@ -87,7 +109,7 @@ class Machine {
   CostModel costs_;
   std::vector<MemoryArena> locals_;  // index 0 => PE 1
   MemoryArena shared_memory_;
-  Bus bus_;
+  std::unique_ptr<Interconnect> interconnect_;
   std::vector<std::unique_ptr<Disk>> disks_;  // index 0 => PE 1; null if none
   FaultInjector* faults_ = nullptr;
 };

@@ -798,5 +798,146 @@ TEST_P(SupervisedSweep, SupervisedReplayIsBackendIdentical) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SupervisedSweep,
                          ::testing::ValuesIn(chaos_seeds()));
 
+// ---- topology-aware chaos --------------------------------------------
+
+/// Supervised master/worker workload on a 32-PE hierarchical machine: 8 PEs
+/// per hardware cluster, one configured cluster per hardware cluster (the
+/// topology comes in through the Configuration, so this also exercises the
+/// boot-time configure_topology path). Partition windows in the plan bind
+/// to backbone links: cross-cluster traffic drops while it is severed,
+/// intra-cluster work never notices.
+SupRunResult run_topo_supervised(const flex::FaultPlan& plan,
+                                 sim::Backend backend) {
+  sim::Engine eng(backend);
+  flex::MachineSpec mspec;
+  mspec.pe_count = 32;
+  flex::Machine machine{eng, mspec};
+  mmos::System sys{machine};
+  config::Configuration cfg;
+  cfg.name = "topo-chaos";
+  for (int i = 0; i < 4; ++i) {
+    config::ClusterConfig c;
+    c.number = i + 1;
+    c.primary_pe = 3 + 8 * i;  // hw clusters 0..3 under pes_per_cluster=8
+    c.slots = 6;
+    c.has_terminal = (i == 0);
+    cfg.clusters.push_back(std::move(c));
+  }
+  cfg.topology.kind = flex::Topology::hier;
+  cfg.topology.pes_per_cluster = 8;
+  cfg.faults = plan;
+  cfg.supervision.enabled = true;
+  cfg.supervision.max_restarts = 2;
+  cfg.supervision.backoff_base = 300'000;
+  cfg.supervision.backoff_factor = 2.0;
+  cfg.supervision.backoff_cap = 4'000'000;
+  cfg.supervision.migrate = true;
+  cfg.time_limit = 300'000'000;
+  const config::SupervisionConfig scfg = cfg.supervision;
+  Runtime rt(sys, std::move(cfg));
+  session::Supervisor sup(rt, scfg);
+
+  SupRunResult out;
+  rt.register_tasktype("worker", [](TaskContext& ctx) {
+    ctx.compute(3'500'000);
+    ctx.send(Dest::Parent(), "result");
+  });
+  rt.register_tasktype("master", [&out](TaskContext& ctx) {
+    ctx.on_message("result",
+                   [&out](TaskContext&, const Message&) { ++out.results; });
+    ctx.on_message("_SUPFAIL",
+                   [&out](TaskContext&, const Message&) { ++out.supfails; });
+    ctx.on_message("_CHILDTERM", [&out](TaskContext&, const Message&) {
+      ++out.childterms_seen;
+    });
+    // Pin half the workers to cluster 3 (hw cluster 2): their results must
+    // cross the backbone link the plan severs, so partition drops are
+    // guaranteed, not placement luck. The rest spread via Any.
+    for (int i = 0; i < kSupWorkers; ++i) {
+      ctx.initiate(i % 2 == 0 ? Where::Cluster(3) : Where::Any(), "worker");
+    }
+    int idle = 0;
+    while (out.results + out.supfails < kSupWorkers && idle < 3) {
+      const int before = out.results + out.supfails;
+      (void)ctx.accept(AcceptSpec{}.of("result").all_of("_SUPFAIL")
+                           .all_of("_CHILDTERM").delay_for(8'000'000));
+      idle = (out.results + out.supfails == before) ? idle + 1 : 0;
+    }
+  });
+  rt.boot();
+  EXPECT_EQ(machine.interconnect().kind(), flex::Topology::hier);
+  EXPECT_EQ(machine.interconnect().cluster_count(), 4);
+  rt.user_initiate(1, "master");
+  out.end_tick = rt.run();
+  out.events_fired = eng.events_fired();
+  const RuntimeStats& st = rt.stats();
+  out.tasks_started = st.tasks_started;
+  out.tasks_finished = st.tasks_finished;
+  out.tasks_killed = st.tasks_killed;
+  out.dead_letters = st.dead_letters;
+  out.dead_letter_traces = rt.tracer().count(trace::EventKind::dead_letter);
+  out.childterms_posted = st.childterms_posted;
+  out.initiates_migrated = st.initiates_migrated;
+  out.messages_migrated = st.messages_migrated;
+  out.sup = sup.stats();
+  if (const auto* fi = rt.fault_injector()) out.faults = fi->stats();
+  out.heap_in_use = rt.message_heap().in_use();
+  out.timed_out = rt.timed_out();
+  out.live_counts_ok = true;
+  for (int pe = machine.spec().first_mmos_pe(); pe <= machine.pe_count(); ++pe) {
+    if (!sys.kernel(pe).live_count_consistent()) out.live_counts_ok = false;
+  }
+  return out;
+}
+
+/// Backbone partitions + a halt/recovery pair + a lossy bus, all at once:
+/// the storm the hierarchical topology has to survive.
+flex::FaultPlan topo_storm_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  // PEs timeslice: the three workers pinned to cluster 3 serialize their
+  // 3.5M computes on its primary, so their results go out at ~11M ticks.
+  // The windows stay open past that, guaranteeing backbone drops.
+  p.bus_partitions.push_back({1, 3, 500'000, 13'000'000});
+  p.bus_partitions.push_back({2, 4, 1'000'000, 12'000'000});
+  p.pe_halts.push_back({11, 2'500'000});  // cluster 2's primary
+  p.pe_recoveries.push_back({11, 5'500'000});
+  p.bus_loss = 0.02;
+  return p;
+}
+
+class TopologySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologySweep, HierChaosKeepsLivenessAndReplays) {
+  const flex::FaultPlan plan = topo_storm_mix(GetParam());
+  const SupRunResult a = run_topo_supervised(plan, sim::default_backend());
+  // Liveness under topology + partitions + supervision: the run quiesces,
+  // escalation accounting balances, nothing leaks, live counters hold.
+  EXPECT_FALSE(a.timed_out);
+  EXPECT_EQ(a.sup.budgets_exhausted + a.sup.restart_posts_failed,
+            a.sup.escalations_delivered + a.sup.escalations_dropped);
+  EXPECT_EQ(a.dead_letters, a.dead_letter_traces);
+  EXPECT_EQ(a.tasks_started, a.tasks_finished);
+  EXPECT_EQ(a.heap_in_use, 0u);
+  EXPECT_TRUE(a.live_counts_ok);
+  // The partition windows bound to real backbone links and bit the master's
+  // cross-cluster traffic (user controller lives in hw cluster 0; workers
+  // are spread by Where::Any over all four).
+  EXPECT_GT(a.faults.bus_partition_drops, 0u);
+  // And the whole trajectory replays bit-identically.
+  const SupRunResult b = run_topo_supervised(plan, sim::default_backend());
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST_P(TopologySweep, HierChaosIsBackendIdentical) {
+  const flex::FaultPlan plan = topo_storm_mix(GetParam());
+  const SupRunResult fibers = run_topo_supervised(plan, sim::Backend::fibers);
+  const SupRunResult threads = run_topo_supervised(plan, sim::Backend::threads);
+  EXPECT_EQ(fibers.key(), threads.key());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologySweep,
+                         ::testing::ValuesIn(chaos_seeds()));
+
 }  // namespace
 }  // namespace pisces::rt

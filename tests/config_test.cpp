@@ -506,5 +506,68 @@ TEST(Menu, FaultRecoveryAndSuperviseCommands) {
   EXPECT_NE(out.str().find("usage: supervise"), std::string::npos);
 }
 
+TEST(Persistence, TopologyRoundTripsAndDefaultStaysImplicit) {
+  auto cfg = Configuration::simple(2);
+  {
+    std::stringstream ss;
+    cfg.save(ss);
+    // The default shared topology is not written, so pre-topology readers
+    // (and the seed's saved configurations) stay byte-compatible.
+    EXPECT_EQ(ss.str().find("topology"), std::string::npos);
+    EXPECT_EQ(Configuration::load(ss).topology, flex::TopologySpec{});
+  }
+  cfg.topology.kind = flex::Topology::numa;
+  cfg.topology.pes_per_cluster = 8;
+  cfg.topology.backbone_access = 10;
+  cfg.topology.backbone_per_word = 3;
+  cfg.topology.numa_hop_per_word = 2;
+  std::stringstream ss;
+  cfg.save(ss);
+  EXPECT_NE(ss.str().find("topology numa 8 10 3 2"), std::string::npos);
+  Configuration back = Configuration::load(ss);
+  EXPECT_EQ(back.topology, cfg.topology);
+  // Save -> load -> save is byte-exact: no token drifts across generations.
+  std::stringstream again;
+  back.save(again);
+  EXPECT_EQ(ss.str(), again.str());
+}
+
+TEST(Persistence, LoadRejectsUnknownTopology) {
+  std::stringstream ss(
+      "pisces-config v1\n"
+      "topology mesh 8 6 2 1\n"
+      "end\n");
+  EXPECT_THROW(Configuration::load(ss), std::runtime_error);
+}
+
+TEST(Validation, RejectsBadTopology) {
+  auto cfg = Configuration::simple(1);
+  cfg.topology.kind = flex::Topology::hier;
+  cfg.topology.pes_per_cluster = 0;
+  auto errors = cfg.validate(nasa_spec());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("topology:"), std::string::npos);
+}
+
+TEST(Menu, TopologyCommandSetsAndValidates) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  menu.apply("topology hier pes-per-cluster 8 backbone-access 10", out);
+  EXPECT_EQ(menu.current().topology.kind, flex::Topology::hier);
+  EXPECT_EQ(menu.current().topology.pes_per_cluster, 8);
+  EXPECT_EQ(menu.current().topology.backbone_access, 10);
+  // Unknown kinds and options are reported; an invalid value is rejected
+  // wholesale and leaves the committed spec untouched.
+  menu.apply("topology mesh", out);
+  EXPECT_NE(out.str().find("unknown topology 'mesh'"), std::string::npos);
+  menu.apply("topology hier pes-per-cluster 0", out);
+  EXPECT_EQ(menu.current().topology.pes_per_cluster, 8);
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+  menu.apply("topology hier wormholes 3", out);
+  EXPECT_NE(out.str().find("unknown topology option"), std::string::npos);
+  menu.apply("topology shared", out);
+  EXPECT_EQ(menu.current().topology.kind, flex::Topology::shared);
+}
+
 }  // namespace
 }  // namespace pisces::config
