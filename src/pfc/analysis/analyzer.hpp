@@ -1,0 +1,90 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pfc/ast.hpp"
+#include "pfc/diagnostics.hpp"
+
+namespace pisces::pfc::analysis {
+
+/// A declared message type (MESSAGE statements are program-global: the
+/// generated PISREG registers every one with the run-time library, so a
+/// type declared in one tasktype can be sent by another).
+struct MessageInfo {
+  std::string name;
+  std::vector<Param> params;
+  int line = 0;
+  int col = 0;
+};
+
+enum class ActionKind { send, broadcast, accept, initiate };
+
+/// One protocol-relevant operation, in statement order. Nested bodies
+/// (BARRIER, CRITICAL, loops, PARSEG segments, ACCEPT delay bodies) are
+/// inlined, so `order` is a faithful happens-before index within one task.
+struct Action {
+  ActionKind kind = ActionKind::send;
+  int order = 0;
+  const Stmt* stmt = nullptr;  ///< the send/broadcast/accept/initiate node
+};
+
+/// Per-tasktype symbol table plus the flattened action stream.
+struct TasktypeInfo {
+  const Tasktype* decl = nullptr;
+  std::vector<Action> actions;
+  std::set<std::string> locks;        ///< declared LOCK base names (upper)
+  std::set<std::string> shared_vars;  ///< SHARED COMMON member names (upper)
+  std::set<std::string> taskid_vars;  ///< TASKID declarations + parameters
+  std::set<std::string> window_vars;  ///< WINDOW declarations + parameters
+};
+
+/// Whole-program view the checks consume: global tables, per-tasktype
+/// symbol tables, and the protocol graph (who sends / accepts / initiates
+/// what).
+struct ProgramIndex {
+  std::vector<std::string> tasktype_order;  ///< declaration order (upper)
+  std::map<std::string, TasktypeInfo> tasktypes;
+  std::map<std::string, MessageInfo> messages;
+  std::map<std::string, std::vector<int>> handlers;  ///< name -> decl lines
+  std::map<std::string, std::vector<int>> signals;   ///< name -> decl lines
+  /// message -> tasktypes with a task-addressed send of it (TO USER is
+  /// excluded: the user controller is not an ACCEPTing task).
+  std::map<std::string, std::set<std::string>> senders;
+  std::map<std::string, std::set<std::string>> acceptors;     ///< message -> tasktypes
+  std::map<std::string, std::set<std::string>> initiated_by;  ///< tasktype -> initiators
+
+  /// The assumed program entry: the first declared tasktype (the session
+  /// layer starts one task of some type; statically we take the first).
+  [[nodiscard]] const std::string* entry() const {
+    return tasktype_order.empty() ? nullptr : &tasktype_order.front();
+  }
+};
+
+/// Build symbol tables and the protocol graph. Emits P109 (conflicting
+/// MESSAGE redeclaration) while merging the global message table.
+ProgramIndex build_index(const Program& program, std::vector<Diagnostic>* diags);
+
+/// Protocol checks (P101-P110): SEND/INITIATE arity and argument types vs
+/// MESSAGE/TASKTYPE declarations, ACCEPT of undeclared or never-sent types,
+/// HANDLER/SIGNAL conflicts, unreachable tasktypes over the INITIATE graph.
+void check_protocol(const ProgramIndex& index, std::vector<Diagnostic>* diags);
+
+/// Blocking / deadlock heuristics (P201-P203): DELAY-less ACCEPTs nobody
+/// can satisfy, mutual send-after-accept cycles, TO PARENT from the root.
+void check_blocking(const ProgramIndex& index, std::vector<Diagnostic>* diags);
+
+/// Force and shared-data checks (P301-P306): force constructs outside
+/// FORCESPLIT, unbalanced PARSEG (parser), CRITICAL on undeclared locks,
+/// statically divergent SELFSCHED sequences, and the SHARED COMMON race
+/// pass (writes not ordered by BARRIER or guarded by a consistent lock).
+void check_force(const ProgramIndex& index, std::vector<Diagnostic>* diags);
+
+/// Run every check family over a parsed program and return the combined
+/// diagnostics, sorted by (line, col, code). Parser diagnostics are NOT
+/// included — callers combine ParseResult::diagnostics with this.
+[[nodiscard]] std::vector<Diagnostic> analyze(const Program& program);
+
+}  // namespace pisces::pfc::analysis

@@ -1,0 +1,151 @@
+#include "pfc/analysis/analyzer.hpp"
+
+namespace pisces::pfc::analysis {
+
+namespace {
+
+/// All tasktypes that could satisfy one ACCEPT statement: the union of the
+/// sender sets of its message types.
+std::set<std::string> possible_senders(const ProgramIndex& index,
+                                       const Stmt& accept) {
+  std::set<std::string> out;
+  for (const auto& spec : accept.specs) {
+    if (spec.is_comment) continue;
+    const auto it = index.senders.find(spec.type);
+    if (it == index.senders.end()) continue;
+    out.insert(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+/// P201: a DELAY-less ACCEPT whose message types have no sender anywhere in
+/// the program blocks its task forever. (Individual never-sent types inside
+/// an otherwise satisfiable ACCEPT are P105, not P201.)
+void check_forever_blocked(const ProgramIndex& index,
+                           std::vector<Diagnostic>* diags) {
+  for (const auto& [name, info] : index.tasktypes) {
+    for (const Action& a : info.actions) {
+      if (a.kind != ActionKind::accept) continue;
+      const Stmt& s = *a.stmt;
+      if (s.has_delay) continue;
+      bool any_spec = false;
+      for (const auto& spec : s.specs) any_spec |= !spec.is_comment;
+      if (!any_spec) continue;
+      if (possible_senders(index, s).empty()) {
+        diags->push_back({s.line,
+                          "ACCEPT without DELAY in tasktype '" + name +
+                              "' can never be satisfied: no tasktype sends "
+                              "any of its message types",
+                          s.col, Severity::warning, "P201"});
+      }
+    }
+  }
+}
+
+/// The order of the first DELAY-less ACCEPT in `from` that only `to` can
+/// satisfy (every accepted type's sender set is non-empty and a subset of
+/// {to}), or nullptr if there is none.
+const Action* first_exclusive_wait(const ProgramIndex& index,
+                                   const TasktypeInfo& from,
+                                   const std::string& to) {
+  for (const Action& a : from.actions) {
+    if (a.kind != ActionKind::accept || a.stmt->has_delay) continue;
+    bool any = false;
+    bool exclusive = true;
+    for (const auto& spec : a.stmt->specs) {
+      if (spec.is_comment) continue;
+      any = true;
+      const auto it = index.senders.find(spec.type);
+      if (it == index.senders.end() || it->second.empty()) {
+        exclusive = false;  // unsatisfiable spec: P201/P105 territory
+        break;
+      }
+      for (const auto& sender : it->second) {
+        if (sender != to) {
+          exclusive = false;
+          break;
+        }
+      }
+      if (!exclusive) break;
+    }
+    if (any && exclusive) return &a;
+  }
+  return nullptr;
+}
+
+/// The order of the first send/broadcast in `from` of a type `to` accepts,
+/// or -1: the earliest point at which `from` could unblock `to`.
+int first_feeding_send(const ProgramIndex& index, const TasktypeInfo& from,
+                       const std::string& to) {
+  for (const Action& a : from.actions) {
+    if (a.kind != ActionKind::send && a.kind != ActionKind::broadcast) continue;
+    const auto it = index.acceptors.find(a.stmt->name);
+    if (it != index.acceptors.end() && it->second.count(to) != 0) {
+      return a.order;
+    }
+  }
+  return -1;
+}
+
+/// Edge A -> B: A reaches an ACCEPT only B can satisfy before A ever sends
+/// anything B accepts. Two such edges in opposite directions mean both
+/// tasks can sit in their ACCEPTs with nothing in flight: P202.
+const Action* wait_edge(const ProgramIndex& index, const TasktypeInfo& from,
+                        const std::string& to) {
+  const Action* wait = first_exclusive_wait(index, from, to);
+  if (wait == nullptr) return nullptr;
+  const int feed = first_feeding_send(index, from, to);
+  if (feed >= 0 && feed < wait->order) return nullptr;
+  return wait;
+}
+
+void check_mutual_wait(const ProgramIndex& index,
+                       std::vector<Diagnostic>* diags) {
+  const auto& order = index.tasktype_order;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const std::string& a = order[i];
+      const std::string& b = order[j];
+      const Action* ab = wait_edge(index, index.tasktypes.at(a), b);
+      if (ab == nullptr) continue;
+      const Action* ba = wait_edge(index, index.tasktypes.at(b), a);
+      if (ba == nullptr) continue;
+      diags->push_back(
+          {ab->stmt->line,
+           "potential deadlock: '" + a + "' waits here for a message only '" +
+               b + "' sends, while '" + b + "' (line " +
+               std::to_string(ba->stmt->line) +
+               ") waits for a message only '" + a +
+               "' sends, and neither sends first",
+           ab->stmt->col, Severity::warning, "P202"});
+    }
+  }
+}
+
+/// P203: the entry tasktype is created by the session layer, not by an
+/// INITIATE, so a TO PARENT SEND in it has no destination task.
+void check_root_parent(const ProgramIndex& index,
+                       std::vector<Diagnostic>* diags) {
+  const std::string* entry = index.entry();
+  if (entry == nullptr) return;
+  const auto init = index.initiated_by.find(*entry);
+  if (init != index.initiated_by.end() && !init->second.empty()) return;
+  for (const Action& a : index.tasktypes.at(*entry).actions) {
+    if (a.kind != ActionKind::send || a.stmt->dest != "PARENT") continue;
+    diags->push_back({a.stmt->line,
+                      "TO PARENT SEND in entry tasktype '" + *entry +
+                          "': no tasktype initiates it, so the root task "
+                          "has no parent",
+                      a.stmt->col, Severity::warning, "P203"});
+  }
+}
+
+}  // namespace
+
+void check_blocking(const ProgramIndex& index, std::vector<Diagnostic>* diags) {
+  check_forever_blocked(index, diags);
+  check_mutual_wait(index, diags);
+  check_root_parent(index, diags);
+}
+
+}  // namespace pisces::pfc::analysis

@@ -1,0 +1,285 @@
+#include "pfc/analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "pfc/source.hpp"
+
+namespace pisces::pfc::analysis {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Whole-word search, so induction variable I is not found inside IDX.
+bool contains_word(const std::string& haystack, const std::string& word) {
+  if (word.empty()) return false;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(haystack[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end == haystack.size() || !is_ident_char(haystack[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Parse a plain statement as a Fortran assignment: "V = e" or
+/// "V(subs) = e". Returns false for DO/IF/declaration/call lines; the
+/// goal is the common store forms, not a full expression grammar.
+bool parse_assignment(const std::string& text, std::string* base,
+                      std::string* subscript) {
+  const std::string up = to_upper(text);
+  if (starts_with_keyword(up, "DO") || starts_with_keyword(up, "IF") ||
+      starts_with_keyword(up, "CALL") || starts_with_keyword(up, "DATA") ||
+      starts_with_keyword(up, "PARAMETER")) {
+    return false;
+  }
+  int depth = 0;
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    const char c = up[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c != '=' || depth != 0) continue;
+    if (i + 1 < up.size() && up[i + 1] == '=') return false;   // ==
+    if (i > 0 && (up[i - 1] == '<' || up[i - 1] == '>' ||      // relational
+                  up[i - 1] == '/' || up[i - 1] == '=')) {
+      return false;
+    }
+    std::string lhs = trim(up.substr(0, i));
+    if (lhs.empty()) return false;
+    const auto lp = lhs.find('(');
+    if (lp == std::string::npos) {
+      *base = lhs;
+      subscript->clear();
+    } else {
+      if (lhs.back() != ')') return false;
+      *base = trim(lhs.substr(0, lp));
+      *subscript = lhs.substr(lp + 1, lhs.size() - lp - 2);
+    }
+    if (base->empty() ||
+        std::isalpha(static_cast<unsigned char>((*base)[0])) == 0) {
+      return false;
+    }
+    for (char bc : *base) {
+      if (!is_ident_char(bc)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// One SELFSCHED occurrence, compared structurally across PARSEG segments.
+struct LoopSig {
+  std::string lo, hi, step;
+  bool operator==(const LoopSig& o) const {
+    return lo == o.lo && hi == o.hi && step == o.step;
+  }
+};
+
+/// Walks one tasktype body tracking the force context. The checks mirror
+/// the run-time library: what would throw or race in src/core/force.cpp is
+/// reported here statically.
+class ForceWalker {
+ public:
+  ForceWalker(const std::string& tasktype, const TasktypeInfo& info,
+              std::vector<Diagnostic>* diags)
+      : tasktype_(tasktype), info_(info), diags_(diags) {}
+
+  void walk(const StmtList& body) {
+    for (const Stmt& s : body) walk_stmt(s);
+  }
+
+ private:
+  struct Guard {
+    bool in_barrier = false;
+    std::string lock;           ///< non-empty inside CRITICAL <lock>
+    std::string loop_var;       ///< non-empty inside PRESCHED/SELFSCHED body
+  };
+
+  void add(const Stmt& s, Severity sev, std::string code, std::string msg) {
+    diags_->push_back({s.line, std::move(msg), s.col, sev, std::move(code)});
+  }
+
+  void require_force(const Stmt& s, const char* what) {
+    if (!in_force_) {
+      add(s, Severity::error, "P301",
+          std::string(what) + " outside FORCESPLIT in tasktype '" +
+              tasktype_ + "': force constructs need force members to " +
+              "synchronize");
+    }
+  }
+
+  void walk_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::forcesplit:
+        in_force_ = true;
+        return;
+      case StmtKind::barrier: {
+        require_force(s, "BARRIER");
+        Guard g = guard_;
+        guard_.in_barrier = true;
+        walk(s.body);
+        guard_ = g;
+        return;
+      }
+      case StmtKind::critical: {
+        require_force(s, "CRITICAL");
+        if (!s.name.empty() && info_.locks.count(s.name) == 0) {
+          add(s, Severity::error, "P303",
+              "CRITICAL on undeclared lock '" + s.name +
+                  "': no LOCK declaration in tasktype '" + tasktype_ + "'");
+        }
+        Guard g = guard_;
+        guard_.lock = s.name;
+        walk(s.body);
+        guard_ = g;
+        return;
+      }
+      case StmtKind::presched:
+      case StmtKind::selfsched: {
+        require_force(s, s.kind == StmtKind::presched ? "PRESCHED DO"
+                                                      : "SELFSCHED DO");
+        if (s.kind == StmtKind::selfsched) record_selfsched(s);
+        Guard g = guard_;
+        guard_.loop_var = to_upper(s.loop_var);
+        walk(s.body);
+        guard_ = g;
+        return;
+      }
+      case StmtKind::parseg:
+        require_force(s, "PARSEG");
+        check_parseg_loops(s);
+        for (const auto& seg : s.segments) walk(seg);
+        return;
+      case StmtKind::accept:
+        walk(s.delay_body);
+        return;
+      case StmtKind::plain:
+        check_shared_write(s);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- P304: statically divergent SELFSCHED ----
+
+  /// Every force member must execute the same sequence of SELFSCHED loops
+  /// with the same bounds — the run time allocates one shared iteration
+  /// counter per occurrence and throws on divergence (ForceState::loop).
+  /// Two static ways to violate that:
+  ///   - a SELFSCHED inside a BARRIER body (only one member runs it), and
+  ///   - PARSEG segments whose SELFSCHED sequences differ (members are
+  ///     split across segments).
+  void record_selfsched(const Stmt& s) {
+    if (guard_.in_barrier) {
+      add(s, Severity::error, "P304",
+          "SELFSCHED DO inside BARRIER: only one force member executes a "
+          "BARRIER body, so members' SELFSCHED sequences diverge (the run "
+          "time rejects this)");
+    }
+  }
+
+  static void collect_loops(const StmtList& body, std::vector<LoopSig>* out) {
+    for (const Stmt& s : body) {
+      switch (s.kind) {
+        case StmtKind::selfsched:
+          out->push_back(LoopSig{trim(s.lo), trim(s.hi), trim(s.step)});
+          collect_loops(s.body, out);
+          break;
+        case StmtKind::presched:
+        case StmtKind::critical:
+          collect_loops(s.body, out);
+          break;
+        case StmtKind::parseg:
+          for (const auto& seg : s.segments) collect_loops(seg, out);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void check_parseg_loops(const Stmt& s) {
+    if (s.segments.size() < 2) return;
+    std::vector<LoopSig> first;
+    collect_loops(s.segments.front(), &first);
+    for (std::size_t i = 1; i < s.segments.size(); ++i) {
+      std::vector<LoopSig> other;
+      collect_loops(s.segments[i], &other);
+      if (!(other.size() == first.size() &&
+            std::equal(other.begin(), other.end(), first.begin()))) {
+        add(s, Severity::error, "P304",
+            "SELFSCHED loops diverge between PARSEG segments " +
+                std::to_string(1) + " and " + std::to_string(i + 1) +
+                ": members in different segments would advance different "
+                "shared loop counters (the run time rejects this)");
+        return;
+      }
+    }
+  }
+
+  // ---- P305/P306: SHARED COMMON race pass ----
+
+  /// A write to a SHARED COMMON variable in the force region is safe when
+  /// it is ordered (inside BARRIER: one member, others wait), mutually
+  /// excluded (inside CRITICAL: record the lock), or partitioned (inside a
+  /// scheduled loop with the induction variable in the subscript: disjoint
+  /// elements per iteration). Anything else is a race: P305. A variable
+  /// guarded by two different locks is not mutually excluded at all: P306.
+  void check_shared_write(const Stmt& s) {
+    if (!in_force_) return;
+    std::string base, subscript;
+    if (!parse_assignment(s.text, &base, &subscript)) return;
+    if (info_.shared_vars.count(base) == 0) return;
+    if (guard_.in_barrier) return;
+    if (!guard_.lock.empty()) {
+      auto [it, inserted] = locks_used_.try_emplace(base, guard_.lock);
+      if (!inserted && it->second != guard_.lock) {
+        add(s, Severity::warning, "P306",
+            "shared variable '" + base + "' is guarded by lock '" +
+                guard_.lock + "' here but by lock '" + it->second +
+                "' elsewhere: inconsistent locks do not exclude each other");
+      }
+      return;
+    }
+    if (!guard_.loop_var.empty() && !subscript.empty() &&
+        contains_word(subscript, guard_.loop_var)) {
+      return;  // per-iteration element, iterations are partitioned
+    }
+    add(s, Severity::warning, "P305",
+        "unsynchronized write to SHARED COMMON variable '" + base +
+            "' in force region: not inside BARRIER or CRITICAL and not "
+            "partitioned by a scheduled loop index");
+  }
+
+  const std::string& tasktype_;
+  const TasktypeInfo& info_;
+  std::vector<Diagnostic>* diags_;
+  bool in_force_ = false;
+  Guard guard_;
+  std::map<std::string, std::string> locks_used_;  ///< shared var -> lock
+};
+
+}  // namespace
+
+void check_force(const ProgramIndex& index, std::vector<Diagnostic>* diags) {
+  for (const auto& name : index.tasktype_order) {
+    const TasktypeInfo& info = index.tasktypes.at(name);
+    ForceWalker(name, info, diags).walk(info.decl->body);
+  }
+}
+
+}  // namespace pisces::pfc::analysis

@@ -1,0 +1,186 @@
+#include "pfc/analysis/analyzer.hpp"
+
+#include "pfc/source.hpp"
+
+namespace pisces::pfc::analysis {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string base_name_upper(const std::string& decl) {
+  const auto lp = decl.find('(');
+  return to_upper(trim(lp == std::string::npos ? decl : decl.substr(0, lp)));
+}
+
+/// Walks one statement list, filling the global tables and (when inside a
+/// tasktype) the per-tasktype symbol table plus the flattened action stream.
+class IndexBuilder {
+ public:
+  IndexBuilder(ProgramIndex* index, std::vector<Diagnostic>* diags)
+      : index_(index), diags_(diags) {}
+
+  void walk_top(const Program& program) {
+    for (const auto& item : program.items) {
+      if (item.is_tasktype()) {
+        enter_tasktype(*item.tasktype);
+      } else {
+        walk_stmt(item.stmt);
+      }
+    }
+  }
+
+ private:
+  void enter_tasktype(const Tasktype& tt) {
+    if (tt.malformed || tt.name.empty()) {
+      // Header never parsed; still index the body so MESSAGE declarations
+      // and the protocol graph survive the recovery.
+      current_ = nullptr;
+      walk_list(tt.body);
+      return;
+    }
+    auto [it, inserted] = index_->tasktypes.try_emplace(tt.name);
+    if (inserted) index_->tasktype_order.push_back(tt.name);
+    current_ = &it->second;
+    current_->decl = &tt;
+    for (const auto& p : tt.params) {
+      if (p.type == "TASKID") current_->taskid_vars.insert(p.name);
+      if (p.type == "WINDOW") current_->window_vars.insert(p.name);
+    }
+    walk_list(tt.body);
+    current_ = nullptr;
+  }
+
+  void walk_list(const StmtList& body) {
+    for (const auto& s : body) walk_stmt(s);
+  }
+
+  void walk_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::message_decl:
+        declare_message(s);
+        break;
+      case StmtKind::handler_decl:
+        index_->handlers[s.name].push_back(s.line);
+        break;
+      case StmtKind::signal_decl:
+        index_->signals[s.name].push_back(s.line);
+        break;
+      case StmtKind::taskid_decl:
+        if (current_) {
+          for (const auto& d : s.decls) current_->taskid_vars.insert(base_name_upper(d));
+        }
+        break;
+      case StmtKind::window_decl:
+        if (current_) {
+          for (const auto& d : s.decls) current_->window_vars.insert(base_name_upper(d));
+        }
+        break;
+      case StmtKind::lock_decl:
+        if (current_) {
+          for (const auto& d : s.decls) current_->locks.insert(base_name_upper(d));
+        }
+        break;
+      case StmtKind::shared_common:
+        if (current_) {
+          for (const auto& v : s.common_vars) current_->shared_vars.insert(v);
+        }
+        break;
+      case StmtKind::initiate:
+        add_action(ActionKind::initiate, s);
+        if (current_) index_->initiated_by[s.name].insert(current_name());
+        break;
+      case StmtKind::send:
+        add_action(ActionKind::send, s);
+        // TO USER targets the user controller, which is not an ACCEPTing
+        // task, so it does not make the type available to any ACCEPT.
+        if (current_ && s.dest != "USER") {
+          index_->senders[s.name].insert(current_name());
+        }
+        break;
+      case StmtKind::broadcast:
+        add_action(ActionKind::broadcast, s);
+        if (current_) index_->senders[s.name].insert(current_name());
+        break;
+      case StmtKind::accept:
+        add_action(ActionKind::accept, s);
+        if (current_) {
+          for (const auto& spec : s.specs) {
+            if (!spec.is_comment) index_->acceptors[spec.type].insert(current_name());
+          }
+        }
+        walk_list(s.delay_body);
+        break;
+      case StmtKind::barrier:
+      case StmtKind::critical:
+      case StmtKind::presched:
+      case StmtKind::selfsched:
+        walk_list(s.body);
+        break;
+      case StmtKind::parseg:
+        for (const auto& seg : s.segments) walk_list(seg);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void declare_message(const Stmt& s) {
+    auto [it, inserted] = index_->messages.try_emplace(s.name);
+    MessageInfo& info = it->second;
+    if (inserted) {
+      info.name = s.name;
+      info.params = s.params;
+      info.line = s.line;
+      info.col = s.col;
+      return;
+    }
+    if (info.params.size() != s.params.size()) {
+      diags_->push_back({s.line,
+                         "message type '" + s.name + "' redeclared with " +
+                             std::to_string(s.params.size()) +
+                             " packet(s); line " + std::to_string(info.line) +
+                             " declares " + std::to_string(info.params.size()),
+                         s.col, Severity::error, "P109"});
+    }
+  }
+
+  void add_action(ActionKind kind, const Stmt& s) {
+    if (!current_) return;
+    current_->actions.push_back(Action{kind, order_++, &s});
+  }
+
+  [[nodiscard]] const std::string& current_name() const {
+    return current_->decl->name;
+  }
+
+  ProgramIndex* index_;
+  std::vector<Diagnostic>* diags_;
+  TasktypeInfo* current_ = nullptr;
+  int order_ = 0;
+};
+
+}  // namespace
+
+ProgramIndex build_index(const Program& program, std::vector<Diagnostic>* diags) {
+  ProgramIndex index;
+  IndexBuilder(&index, diags).walk_top(program);
+  return index;
+}
+
+std::vector<Diagnostic> analyze(const Program& program) {
+  std::vector<Diagnostic> diags;
+  const ProgramIndex index = build_index(program, &diags);
+  check_protocol(index, &diags);
+  check_blocking(index, &diags);
+  check_force(index, &diags);
+  sort_diagnostics(diags);
+  return diags;
+}
+
+}  // namespace pisces::pfc::analysis

@@ -1,0 +1,214 @@
+#include "pfc/analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "pfc/source.hpp"
+
+namespace pisces::pfc::analysis {
+
+namespace {
+
+void add(std::vector<Diagnostic>* diags, const Stmt& s, Severity sev,
+         std::string code, std::string msg) {
+  diags->push_back({s.line, std::move(msg), s.col, sev, std::move(code)});
+}
+
+/// Crude static type of an actual argument: literals carry their type on
+/// their face; anything else (a variable or expression) is unknown and the
+/// check stays silent — pfc does not track plain-Fortran declarations.
+enum class ArgType { unknown, integer, real, character, logical };
+
+ArgType classify_arg(const std::string& raw) {
+  const std::string a = to_upper(raw);
+  if (a.empty()) return ArgType::unknown;
+  if (a.front() == '\'') return ArgType::character;
+  if (a == ".TRUE." || a == ".FALSE.") return ArgType::logical;
+  std::size_t i = (a[0] == '+' || a[0] == '-') ? 1 : 0;
+  if (i >= a.size() || !std::isdigit(static_cast<unsigned char>(a[i]))) {
+    return ArgType::unknown;
+  }
+  bool is_real = false;
+  for (; i < a.size(); ++i) {
+    const char c = a[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) continue;
+    if (c == '.' || c == 'E' || c == 'D' || c == '+' || c == '-') {
+      is_real = true;
+      continue;
+    }
+    return ArgType::unknown;  // identifier like 10X can't occur; expression
+  }
+  return is_real ? ArgType::real : ArgType::integer;
+}
+
+/// Whether literal type `got` is acceptable for a dummy of declared `want`.
+bool literal_matches(ArgType got, const std::string& want) {
+  switch (got) {
+    case ArgType::integer:
+      return want == "INTEGER";
+    case ArgType::real:
+      return want == "REAL" || want == "DOUBLE PRECISION";
+    case ArgType::character:
+      return want == "CHARACTER";
+    case ArgType::logical:
+      return want == "LOGICAL";
+    case ArgType::unknown:
+      return true;
+  }
+  return true;
+}
+
+/// P110 for one call site: literal arguments vs declared packet types, plus
+/// TASKID dummies, which can never bind a numeric/character literal.
+void check_arg_types(const Stmt& s, const char* what,
+                     const std::vector<Param>& params,
+                     std::vector<Diagnostic>* diags) {
+  const std::size_t n = std::min(s.args.size(), params.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Param& p = params[i];
+    if (p.type.empty()) continue;  // untyped packet declaration: no check
+    const ArgType got = classify_arg(s.args[i]);
+    if (got == ArgType::unknown) continue;
+    if (!literal_matches(got, p.type)) {
+      add(diags, s, Severity::error, "P110",
+          std::string(what) + " '" + s.name + "' argument " +
+              std::to_string(i + 1) + " ('" + s.args[i] +
+              "') does not match declared type " + p.type + " of packet '" +
+              p.name + "'");
+    }
+  }
+}
+
+void check_send(const ProgramIndex& index, const Stmt& s,
+                std::vector<Diagnostic>* diags) {
+  const auto it = index.messages.find(s.name);
+  if (it == index.messages.end()) {
+    add(diags, s, Severity::error, "P101",
+        "SEND of undeclared message type '" + s.name + "'");
+    return;
+  }
+  const MessageInfo& m = it->second;
+  if (s.args.size() != m.params.size()) {
+    add(diags, s, Severity::error, "P102",
+        "SEND of '" + s.name + "' passes " + std::to_string(s.args.size()) +
+            " argument(s); MESSAGE at line " + std::to_string(m.line) +
+            " declares " + std::to_string(m.params.size()) + " packet(s)");
+    return;
+  }
+  check_arg_types(s, "SEND of", m.params, diags);
+}
+
+void check_initiate(const ProgramIndex& index, const Stmt& s,
+                    std::vector<Diagnostic>* diags) {
+  const auto it = index.tasktypes.find(s.name);
+  if (it == index.tasktypes.end()) {
+    add(diags, s, Severity::error, "P103",
+        "INITIATE of undeclared tasktype '" + s.name + "'");
+    return;
+  }
+  const Tasktype& tt = *it->second.decl;
+  if (s.args.size() != tt.params.size()) {
+    add(diags, s, Severity::error, "P104",
+        "INITIATE of '" + s.name + "' passes " +
+            std::to_string(s.args.size()) + " argument(s); TASKTYPE at line " +
+            std::to_string(tt.line) + " declares " +
+            std::to_string(tt.params.size()) + " parameter(s)");
+    return;
+  }
+  check_arg_types(s, "INITIATE of", tt.params, diags);
+}
+
+void check_accept(const ProgramIndex& index, const Stmt& s,
+                  std::vector<Diagnostic>* diags) {
+  for (const auto& spec : s.specs) {
+    if (spec.is_comment) continue;
+    if (index.messages.find(spec.type) == index.messages.end()) {
+      diags->push_back({spec.line,
+                        "ACCEPT of undeclared message type '" + spec.type + "'",
+                        spec.col, Severity::error, "P108"});
+      continue;
+    }
+    const auto snd = index.senders.find(spec.type);
+    if (snd == index.senders.end() || snd->second.empty()) {
+      diags->push_back(
+          {spec.line,
+           "message type '" + spec.type +
+               "' is accepted here but no tasktype sends it (TO USER sends "
+               "do not reach tasks)",
+           spec.col, Severity::warning, "P105"});
+    }
+  }
+}
+
+/// P107: tasktypes that no chain of INITIATEs starting at the entry
+/// tasktype (the first one declared) can ever create.
+void check_reachability(const ProgramIndex& index,
+                        std::vector<Diagnostic>* diags) {
+  const std::string* entry = index.entry();
+  if (entry == nullptr || index.tasktype_order.size() < 2) return;
+  std::set<std::string> reachable{*entry};
+  std::vector<std::string> work{*entry};
+  while (!work.empty()) {
+    const std::string from = std::move(work.back());
+    work.pop_back();
+    const auto it = index.tasktypes.find(from);
+    if (it == index.tasktypes.end()) continue;
+    for (const Action& a : it->second.actions) {
+      if (a.kind != ActionKind::initiate) continue;
+      if (reachable.insert(a.stmt->name).second) work.push_back(a.stmt->name);
+    }
+  }
+  for (const std::string& name : index.tasktype_order) {
+    if (reachable.count(name) != 0) continue;
+    const Tasktype& tt = *index.tasktypes.at(name).decl;
+    diags->push_back({tt.line,
+                      "tasktype '" + name +
+                          "' is unreachable: no INITIATE chain from entry "
+                          "tasktype '" +
+                          *entry + "' creates it",
+                      tt.col, Severity::warning, "P107"});
+  }
+}
+
+void check_handler_signal(const ProgramIndex& index,
+                          std::vector<Diagnostic>* diags) {
+  for (const auto& [name, handler_lines] : index.handlers) {
+    const auto sig = index.signals.find(name);
+    if (sig == index.signals.end()) continue;
+    // Report at whichever declaration comes later in the source: that is
+    // the one contradicting an already-established choice.
+    const int h = *std::max_element(handler_lines.begin(), handler_lines.end());
+    const int s = *std::max_element(sig->second.begin(), sig->second.end());
+    diags->push_back({std::max(h, s),
+                      "message type '" + name +
+                          "' is declared both HANDLER (line " +
+                          std::to_string(h) + ") and SIGNAL (line " +
+                          std::to_string(s) + ")",
+                      0, Severity::error, "P106"});
+  }
+}
+
+}  // namespace
+
+void check_protocol(const ProgramIndex& index, std::vector<Diagnostic>* diags) {
+  for (const auto& [name, info] : index.tasktypes) {
+    for (const Action& a : info.actions) {
+      switch (a.kind) {
+        case ActionKind::send:
+        case ActionKind::broadcast:
+          check_send(index, *a.stmt, diags);
+          break;
+        case ActionKind::initiate:
+          check_initiate(index, *a.stmt, diags);
+          break;
+        case ActionKind::accept:
+          check_accept(index, *a.stmt, diags);
+          break;
+      }
+    }
+  }
+  check_handler_signal(index, diags);
+  check_reachability(index, diags);
+}
+
+}  // namespace pisces::pfc::analysis

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pisces::pfc {
+
+/// Declared parameter of a TASKTYPE or MESSAGE: "INTEGER N" / "REAL A(100)".
+struct Param {
+  std::string type;  ///< INTEGER/REAL/DOUBLE PRECISION/TASKID/WINDOW/...
+  std::string decl;  ///< N or A(100), as written
+  std::string name;  ///< upper-case base name (decl minus the dimensions)
+};
+
+enum class StmtKind {
+  plain,    ///< ordinary Fortran, passed through
+  comment,  ///< raw line(s), passed through verbatim
+  message_decl,
+  handler_decl,
+  signal_decl,
+  taskid_decl,
+  window_decl,
+  lock_decl,
+  shared_common,
+  initiate,
+  send,
+  broadcast,
+  accept,
+  forcesplit,
+  barrier,
+  critical,
+  presched,
+  selfsched,
+  parseg,
+};
+
+struct Stmt;
+using StmtList = std::vector<Stmt>;
+
+/// One ACCEPT type-spec line ("ROWS" / "ROWS: 3" / "DONE: ALL"), or a
+/// comment inside the spec section (kept so pass-through stays verbatim).
+struct AcceptSpec {
+  bool is_comment = false;
+  std::string raw;    ///< comment text (is_comment only)
+  std::string type;   ///< message-type name, upper case
+  std::string count;  ///< count expression ("1" when omitted)
+  bool all = false;   ///< ": ALL"
+  int line = 0;
+  int col = 0;
+};
+
+/// One parsed statement. A single tagged record covers every kind — only
+/// the fields relevant to `kind` are populated. This keeps the walker code
+/// flat, which suits a preprocessor-scale language.
+struct Stmt {
+  StmtKind kind = StmtKind::plain;
+  int line = 0;
+  int col = 0;
+  std::string label;  ///< statement label, "" if none
+  std::string text;   ///< plain: statement text; comment: raw line(s);
+                      ///< lock_decl: raw declaration list;
+                      ///< critical: raw lock expression
+
+  std::string name;  ///< decl name / SEND message / INITIATE tasktype /
+                     ///< CRITICAL lock base — always upper case
+  std::vector<Param> params;       ///< message_decl parameters
+  std::vector<std::string> decls;  ///< taskid/window/lock declarators, as written
+  std::string common_rest;         ///< shared_common: text after SHARED COMMON
+  std::string common_block;        ///< shared_common: block name (upper), "" = malformed
+  std::vector<std::string> common_vars;  ///< shared_common: member base names (upper)
+
+  std::string selector;           ///< initiate/send: runtime routing code "1".."6"
+  std::string operand;            ///< initiate/send: cluster expr / taskid var / "0"
+  std::string dest;               ///< send: destination keyword or variable (upper)
+  std::vector<std::string> args;  ///< initiate/send/broadcast arguments, as written
+  std::string cluster;            ///< broadcast: cluster expression or "-1"
+
+  std::string accept_total;        ///< accept: total-count expression, "" if none
+  std::vector<AcceptSpec> specs;   ///< accept: type-spec section
+  bool has_delay = false;          ///< accept: DELAY t THEN present
+  std::string delay_value;         ///< accept: the DELAY expression
+  StmtList delay_body;             ///< accept: timeout body
+
+  StmtList body;                   ///< barrier/critical/presched/selfsched body
+  std::vector<StmtList> segments;  ///< parseg: one list per segment
+
+  std::string loop_label;  ///< presched/selfsched DO label ("" = END DO form)
+  std::string loop_var;
+  std::string lo, hi, step;
+  bool term_via_label = false;  ///< loop closed by its labelled line (vs END DO)
+  std::string term_text;        ///< the terminating line's text, for re-emission
+  std::string term_label;       ///< the terminating line's label
+  bool unterminated = false;    ///< block never closed (already diagnosed)
+};
+
+/// A TASKTYPE program unit: header parameters plus the statement body.
+struct Tasktype {
+  std::string name;  ///< upper-case tasktype name ("" when malformed)
+  int line = 0;
+  int col = 0;
+  bool malformed = false;  ///< header failed to parse; body kept for recovery
+  bool unclosed = false;   ///< END TASKTYPE missing (already diagnosed)
+  std::vector<Param> params;
+  StmtList body;
+};
+
+/// A top-level item: either a tasktype unit or a statement outside any
+/// tasktype (plain Fortran subprograms, comments, stray declarations).
+struct TopItem {
+  std::unique_ptr<Tasktype> tasktype;  ///< nullptr -> `stmt` is the payload
+  Stmt stmt;
+  [[nodiscard]] bool is_tasktype() const { return tasktype != nullptr; }
+};
+
+/// The whole translation unit, in source order.
+struct Program {
+  std::vector<TopItem> items;
+};
+
+}  // namespace pisces::pfc

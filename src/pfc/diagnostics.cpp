@@ -1,0 +1,86 @@
+#include "pfc/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pisces::pfc {
+
+const char* severity_name(Severity s) {
+  return s == Severity::error ? "error" : "warning";
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return a.code < b.code;
+                   });
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::error;
+  });
+}
+
+void promote_warnings(std::vector<Diagnostic>& diags) {
+  for (auto& d : diags) d.severity = Severity::error;
+}
+
+std::string format_human(const std::string& file, const Diagnostic& d) {
+  std::ostringstream os;
+  os << file << ":" << d.line;
+  if (d.col > 0) os << ":" << d.col;
+  os << ": " << severity_name(d.severity) << ": ";
+  if (!d.code.empty()) os << d.code << ": ";
+  os << d.message;
+  return os.str();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string format_json(const std::string& file,
+                        const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& d : diags) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"file\": ";
+    append_json_string(os, file);
+    os << ", \"line\": " << d.line << ", \"col\": " << d.col
+       << ", \"severity\": \"" << severity_name(d.severity) << "\", \"code\": ";
+    append_json_string(os, d.code);
+    os << ", \"message\": ";
+    append_json_string(os, d.message);
+    os << "}";
+  }
+  os << (first ? "]" : "\n]") << "\n";
+  return os.str();
+}
+
+}  // namespace pisces::pfc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pisces::pfc {
+
+enum class Severity { warning, error };
+
+/// A translation or analysis problem, anchored at a 1-based source line.
+/// `line` and `message` keep their historical meaning (and
+/// TranslateResult::error_text() keeps its historical "line N: message"
+/// format); `col`, `severity` and `code` carry the analysis engine's
+/// richer reporting.
+///
+/// Stable diagnostic codes (see README for the full table):
+///   P001-P099  syntax / structure (parser)
+///   P101-P199  protocol: SEND/INITIATE/ACCEPT vs declarations
+///   P201-P299  blocking / deadlock heuristics
+///   P301-P399  force and shared-data checks
+struct Diagnostic {
+  int line = 0;
+  std::string message;
+  int col = 0;  ///< 1-based column of the statement, 0 = whole line
+  Severity severity = Severity::error;
+  std::string code;  ///< stable "P###" code; "" only for ad-hoc diagnostics
+};
+
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// Sort by (line, col, code) so reports are deterministic regardless of
+/// which check found what first.
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Apply --Werror: every warning becomes an error.
+void promote_warnings(std::vector<Diagnostic>& diags);
+
+/// "file:line:col: severity: CODE: message" (col and code omitted when
+/// absent), the compiler-style single-line form the CLI prints.
+[[nodiscard]] std::string format_human(const std::string& file,
+                                       const Diagnostic& d);
+
+/// A JSON array of {file, line, col, severity, code, message} objects,
+/// one per diagnostic, for `pfc --check --json`.
+[[nodiscard]] std::string format_json(const std::string& file,
+                                      const std::vector<Diagnostic>& diags);
+
+}  // namespace pisces::pfc

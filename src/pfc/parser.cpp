@@ -1,0 +1,658 @@
+#include "pfc/parser.hpp"
+
+#include <optional>
+
+#include "pfc/source.hpp"
+
+namespace pisces::pfc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Split "a, b(1,2), c" at top-level commas.
+std::vector<std::string> split_args(const std::string& s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  return out;
+}
+
+/// Parse "NAME(arg1, arg2)" -> {NAME, args}; args empty if no parens.
+bool parse_call_form(const std::string& s, std::string* name,
+                     std::vector<std::string>* args) {
+  const auto lp = s.find('(');
+  if (lp == std::string::npos) {
+    *name = trim(s);
+    args->clear();
+    return !name->empty();
+  }
+  const auto rp = s.rfind(')');
+  if (rp == std::string::npos || rp < lp) return false;
+  *name = trim(s.substr(0, lp));
+  *args = split_args(s.substr(lp + 1, rp - lp - 1));
+  return !name->empty();
+}
+
+std::string var_base_name(const std::string& decl) {
+  const auto lp = decl.find('(');
+  return trim(lp == std::string::npos ? decl : decl.substr(0, lp));
+}
+
+std::optional<Param> parse_param(const std::string& s) {
+  static const char* kTypes[] = {"DOUBLE PRECISION", "INTEGER", "REAL",
+                                 "TASKID", "WINDOW", "CHARACTER", "LOGICAL"};
+  const std::string up = to_upper(s);
+  for (const char* t : kTypes) {
+    if (starts_with_keyword(up, t)) {
+      Param p;
+      p.type = t;
+      p.decl = trim(s.substr(std::string(t).size()));
+      if (p.decl.empty()) return std::nullopt;
+      p.name = to_upper(var_base_name(p.decl));
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+class ParserImpl {
+ public:
+  ParseResult run(const std::string& source) {
+    for (const SourceLine& line : read_source(source)) {
+      cur_line_ = line.number;
+      cur_col_ = line.col;
+      handle(line);
+    }
+    if (tasktype_) {
+      error("TASKTYPE '" + tasktype_->name + "' not closed", "P002");
+      unwind_frames();
+      close_tasktype(/*unclosed=*/true);
+    } else if (!frames_.empty()) {
+      error("unterminated block at end of file", "P002");
+      unwind_frames();
+    }
+    ParseResult res;
+    res.program = std::move(program_);
+    res.diagnostics = std::move(diags_);
+    return res;
+  }
+
+ private:
+  struct Frame {
+    enum class Kind { accept_spec, accept_delay, barrier, critical, loop, parseg };
+    Kind kind;
+    Stmt stmt;
+  };
+  using FrameKind = Frame::Kind;
+
+  void error(std::string msg, std::string code) {
+    diags_.push_back({cur_line_, std::move(msg), cur_col_, Severity::error,
+                      std::move(code)});
+  }
+
+  Stmt base_stmt(StmtKind kind, const SourceLine& line) {
+    Stmt s;
+    s.kind = kind;
+    s.line = line.number;
+    s.col = line.col;
+    s.label = line.label;
+    return s;
+  }
+
+  /// Where a finished statement goes: the innermost open block, else the
+  /// current tasktype body, else the top level.
+  void append(Stmt&& s) {
+    if (!frames_.empty()) {
+      Frame& f = frames_.back();
+      switch (f.kind) {
+        case FrameKind::accept_delay:
+          f.stmt.delay_body.push_back(std::move(s));
+          return;
+        case FrameKind::parseg:
+          f.stmt.segments.back().push_back(std::move(s));
+          return;
+        default:
+          f.stmt.body.push_back(std::move(s));
+          return;
+      }
+    }
+    if (tasktype_) {
+      tasktype_->body.push_back(std::move(s));
+      return;
+    }
+    TopItem item;
+    item.stmt = std::move(s);
+    program_.items.push_back(std::move(item));
+  }
+
+  void open_frame(FrameKind kind, Stmt&& s) {
+    frames_.push_back(Frame{kind, std::move(s)});
+  }
+
+  void close_frame(bool unterminated) {
+    Frame f = std::move(frames_.back());
+    frames_.pop_back();
+    f.stmt.unterminated = unterminated;
+    append(std::move(f.stmt));
+  }
+
+  void unwind_frames() {
+    while (!frames_.empty()) close_frame(/*unterminated=*/true);
+  }
+
+  void close_tasktype(bool unclosed) {
+    tasktype_->unclosed = unclosed;
+    TopItem item;
+    item.tasktype = std::move(tasktype_);
+    program_.items.push_back(std::move(item));
+    tasktype_ = nullptr;
+  }
+
+  [[nodiscard]] bool in_accept_spec() const {
+    return !frames_.empty() && frames_.back().kind == FrameKind::accept_spec;
+  }
+  [[nodiscard]] bool top_is(FrameKind k) const {
+    return !frames_.empty() && frames_.back().kind == k;
+  }
+  [[nodiscard]] bool any_frame(FrameKind k) const {
+    for (const auto& f : frames_) {
+      if (f.kind == k) return true;
+    }
+    return false;
+  }
+
+  // ---- statement dispatch ----
+  void handle(const SourceLine& line) {
+    if (line.is_comment) {
+      if (in_accept_spec()) {
+        AcceptSpec c;
+        c.is_comment = true;
+        c.raw = line.raw;
+        c.line = line.number;
+        c.col = line.col;
+        frames_.back().stmt.specs.push_back(std::move(c));
+      } else {
+        Stmt s = base_stmt(StmtKind::comment, line);
+        s.text = line.raw;
+        append(std::move(s));
+      }
+      return;
+    }
+    const std::string& up = line.upper;
+
+    // Inside an ACCEPT's type-spec section, lines are type specs.
+    if (in_accept_spec()) {
+      if (starts_with_keyword(up, "DELAY")) return handle_delay(line);
+      if (starts_with_keyword(up, "END ACCEPT")) {
+        close_frame(false);
+        return;
+      }
+      if (starts_with_keyword(up, "END TASKTYPE")) {
+        return handle_end_tasktype(line);  // reports the unterminated ACCEPT
+      }
+      return handle_accept_spec_line(line);
+    }
+    if (starts_with_keyword(up, "END ACCEPT")) {
+      if (top_is(FrameKind::accept_delay)) {
+        close_frame(false);
+      } else {
+        error("END ACCEPT without ACCEPT", "P002");
+      }
+      return;
+    }
+
+    if (starts_with_keyword(up, "TASKTYPE")) return handle_tasktype(line);
+    if (starts_with_keyword(up, "END TASKTYPE")) return handle_end_tasktype(line);
+    if (starts_with_keyword(up, "MESSAGE")) return handle_message(line);
+    if (starts_with_keyword(up, "HANDLER")) return handle_receiver_decl(line, StmtKind::handler_decl);
+    if (starts_with_keyword(up, "SIGNAL")) return handle_receiver_decl(line, StmtKind::signal_decl);
+    if (starts_with_keyword(up, "TASKID")) return handle_var_decl(line, StmtKind::taskid_decl);
+    if (starts_with_keyword(up, "WINDOW")) return handle_var_decl(line, StmtKind::window_decl);
+    if (starts_with_keyword(up, "LOCK")) return handle_lock(line);
+    if (starts_with_keyword(up, "ON")) return handle_initiate(line);
+    if (starts_with_keyword(up, "TO")) return handle_send(line);
+    if (starts_with_keyword(up, "ACCEPT")) return handle_accept(line);
+    if (starts_with_keyword(up, "FORCESPLIT")) {
+      append(base_stmt(StmtKind::forcesplit, line));
+      return;
+    }
+    if (starts_with_keyword(up, "SHARED COMMON")) return handle_shared_common(line);
+    if (starts_with_keyword(up, "BARRIER")) {
+      open_frame(FrameKind::barrier, base_stmt(StmtKind::barrier, line));
+      return;
+    }
+    if (starts_with_keyword(up, "END BARRIER")) {
+      if (top_is(FrameKind::barrier)) {
+        close_frame(false);
+      } else {
+        error("END BARRIER without BARRIER", "P002");
+      }
+      return;
+    }
+    if (starts_with_keyword(up, "CRITICAL")) return handle_critical(line);
+    if (starts_with_keyword(up, "END CRITICAL")) {
+      if (top_is(FrameKind::critical)) {
+        close_frame(false);
+      } else {
+        error("END CRITICAL without CRITICAL", "P002");
+      }
+      return;
+    }
+    if (starts_with_keyword(up, "PRESCHED")) return handle_sched(line, /*self=*/false);
+    if (starts_with_keyword(up, "SELFSCHED")) return handle_sched(line, /*self=*/true);
+    if (starts_with_keyword(up, "PARSEG")) return handle_parseg(line);
+    if (starts_with_keyword(up, "NEXTSEG")) {
+      if (top_is(FrameKind::parseg)) {
+        frames_.back().stmt.segments.emplace_back();
+      } else {
+        error("NEXTSEG outside PARSEG", "P302");
+      }
+      return;
+    }
+    if (starts_with_keyword(up, "ENDSEG")) {
+      if (top_is(FrameKind::parseg)) {
+        close_frame(false);
+      } else {
+        error("ENDSEG without PARSEG", "P302");
+      }
+      return;
+    }
+    if (starts_with_keyword(up, "END DO") && top_is(FrameKind::loop)) {
+      frames_.back().stmt.term_via_label = false;
+      close_frame(false);
+      return;
+    }
+
+    // A labelled line may terminate the innermost PRESCHED/SELFSCHED DO.
+    if (!line.label.empty() && top_is(FrameKind::loop) &&
+        frames_.back().stmt.loop_label == line.label) {
+      Stmt& loop = frames_.back().stmt;
+      loop.term_via_label = true;
+      loop.term_text = line.text;
+      loop.term_label = line.label;
+      close_frame(false);
+      return;
+    }
+
+    // Plain Fortran: pass through.
+    Stmt s = base_stmt(StmtKind::plain, line);
+    s.text = line.text;
+    append(std::move(s));
+  }
+
+  // ---- TASKTYPE ----
+  void handle_tasktype(const SourceLine& line) {
+    if (tasktype_) {
+      error("nested TASKTYPE", "P002");
+      return;
+    }
+    if (!frames_.empty()) {
+      error("unterminated block at TASKTYPE", "P002");
+      unwind_frames();
+    }
+    auto tt = std::make_unique<Tasktype>();
+    tt->line = line.number;
+    tt->col = line.col;
+    std::string name;
+    std::vector<std::string> params;
+    if (!parse_call_form(trim(line.text.substr(8)), &name, &params)) {
+      // Recovery: enter a placeholder tasktype so the body still parses
+      // and one run reports every diagnostic in the file.
+      error("malformed TASKTYPE header", "P001");
+      tt->malformed = true;
+    } else {
+      tt->name = to_upper(name);
+      for (const auto& p : params) {
+        auto param = parse_param(p);
+        if (!param.has_value()) {
+          error("bad TASKTYPE parameter '" + p + "'", "P001");
+          continue;
+        }
+        tt->params.push_back(std::move(*param));
+      }
+    }
+    tasktype_ = std::move(tt);
+  }
+
+  void handle_end_tasktype(const SourceLine&) {
+    if (!tasktype_) {
+      error("END TASKTYPE outside a TASKTYPE", "P002");
+      return;
+    }
+    if (!frames_.empty()) {
+      if (any_frame(FrameKind::parseg)) {
+        error("unterminated block at END TASKTYPE (unbalanced PARSEG)", "P302");
+      } else {
+        error("unterminated block at END TASKTYPE", "P002");
+      }
+      unwind_frames();
+    }
+    close_tasktype(/*unclosed=*/false);
+  }
+
+  // ---- declarations ----
+  void handle_message(const SourceLine& line) {
+    std::string name;
+    std::vector<std::string> args;
+    if (!parse_call_form(trim(line.text.substr(7)), &name, &args)) {
+      error("malformed MESSAGE declaration", "P001");
+      return;
+    }
+    Stmt s = base_stmt(StmtKind::message_decl, line);
+    s.name = to_upper(name);
+    for (const auto& a : args) {
+      auto param = parse_param(a);
+      if (param.has_value()) {
+        s.params.push_back(std::move(*param));
+      } else {
+        // The 1987 preprocessor only counted packets; keep accepting
+        // untyped packet declarations, they just skip the type checks.
+        Param p;
+        p.decl = a;
+        p.name = to_upper(var_base_name(a));
+        s.params.push_back(std::move(p));
+      }
+    }
+    append(std::move(s));
+  }
+
+  void handle_receiver_decl(const SourceLine& line, StmtKind kind) {
+    const std::size_t kw = kind == StmtKind::handler_decl ? 7 : 6;
+    const std::string name = to_upper(trim(line.text.substr(kw)));
+    if (name.empty()) {
+      error(std::string(kind == StmtKind::handler_decl ? "HANDLER" : "SIGNAL") +
+                " requires a message-type name",
+            "P001");
+      return;
+    }
+    Stmt s = base_stmt(kind, line);
+    s.name = name;
+    append(std::move(s));
+  }
+
+  void handle_var_decl(const SourceLine& line, StmtKind kind) {
+    Stmt s = base_stmt(kind, line);
+    s.decls = split_args(trim(line.text.substr(6)));
+    append(std::move(s));
+  }
+
+  void handle_lock(const SourceLine& line) {
+    const std::string decls = trim(line.text.substr(4));
+    if (decls.empty()) {
+      error("LOCK requires variable names", "P001");
+      return;
+    }
+    Stmt s = base_stmt(StmtKind::lock_decl, line);
+    s.text = decls;
+    s.decls = split_args(decls);
+    append(std::move(s));
+  }
+
+  void handle_shared_common(const SourceLine& line) {
+    Stmt s = base_stmt(StmtKind::shared_common, line);
+    const std::string rest = trim(line.text.substr(13));
+    s.common_rest = rest;
+    const auto s1 = rest.find('/');
+    const auto s2 = rest.find('/', s1 + 1);
+    if (s1 == std::string::npos || s2 == std::string::npos) {
+      error("SHARED COMMON requires a named block /name/", "P001");
+    } else {
+      s.common_block = to_upper(trim(rest.substr(s1 + 1, s2 - s1 - 1)));
+      for (const auto& d : split_args(trim(rest.substr(s2 + 1)))) {
+        s.common_vars.push_back(to_upper(var_base_name(d)));
+      }
+    }
+    append(std::move(s));
+  }
+
+  // ---- INITIATE ----
+  void handle_initiate(const SourceLine& line) {
+    // ON <where> INITIATE name(args)
+    const std::string up = line.upper;
+    const auto pos = up.find("INITIATE");
+    if (pos == std::string::npos) {
+      // Not the Pisces ON statement — pass through (e.g. Fortran ON ERROR).
+      Stmt s = base_stmt(StmtKind::plain, line);
+      s.text = line.text;
+      append(std::move(s));
+      return;
+    }
+    std::string where = trim(line.text.substr(2, pos - 2));
+    std::string where_up = to_upper(where);
+    std::string code;
+    std::string operand = "0";
+    if (starts_with_keyword(where_up, "CLUSTER")) {
+      code = "1";
+      operand = trim(where.substr(7));
+    } else if (where_up == "ANY") {
+      code = "2";
+    } else if (where_up == "OTHER") {
+      code = "3";
+    } else if (where_up == "SAME") {
+      code = "4";
+    } else {
+      error("bad INITIATE cluster selector '" + where + "'", "P001");
+      return;
+    }
+    std::string name;
+    std::vector<std::string> args;
+    if (!parse_call_form(trim(line.text.substr(pos + 8)), &name, &args)) {
+      error("malformed INITIATE tasktype reference", "P001");
+      return;
+    }
+    Stmt s = base_stmt(StmtKind::initiate, line);
+    s.selector = code;
+    s.operand = operand;
+    s.name = to_upper(name);
+    s.args = std::move(args);
+    append(std::move(s));
+  }
+
+  // ---- SEND ----
+  void handle_send(const SourceLine& line) {
+    const std::string up = line.upper;
+    const auto pos = up.find(" SEND ");
+    if (pos == std::string::npos) {
+      Stmt s = base_stmt(StmtKind::plain, line);  // plain Fortran TO? pass through
+      s.text = line.text;
+      append(std::move(s));
+      return;
+    }
+    std::string dest = trim(line.text.substr(2, pos - 2));
+    const std::string dest_up = to_upper(dest);
+    std::string name;
+    std::vector<std::string> args;
+    if (!parse_call_form(trim(line.text.substr(pos + 6)), &name, &args)) {
+      error("malformed SEND message reference", "P001");
+      return;
+    }
+
+    if (starts_with_keyword(dest_up, "ALL")) {
+      // TO ALL [CLUSTER e] SEND type(args)
+      std::string cluster = "-1";
+      const std::string rest = trim(dest.substr(3));
+      if (!rest.empty()) {
+        if (starts_with_keyword(to_upper(rest), "CLUSTER")) {
+          cluster = trim(rest.substr(7));
+        } else {
+          error("bad broadcast destination '" + dest + "'", "P001");
+          return;
+        }
+      }
+      Stmt s = base_stmt(StmtKind::broadcast, line);
+      s.cluster = cluster;
+      s.name = to_upper(name);
+      s.args = std::move(args);
+      append(std::move(s));
+      return;
+    }
+
+    std::string code;
+    std::string operand = "0";
+    if (dest_up == "PARENT") code = "1";
+    else if (dest_up == "SELF") code = "2";
+    else if (dest_up == "SENDER") code = "3";
+    else if (dest_up == "USER") code = "4";
+    else if (starts_with_keyword(dest_up, "TCONTR")) {
+      code = "6";
+      operand = trim(dest.substr(6));
+    } else {
+      code = "5";  // taskid variable or array element
+      operand = dest;
+    }
+    Stmt s = base_stmt(StmtKind::send, line);
+    s.selector = code;
+    s.operand = operand;
+    s.dest = dest_up;
+    s.name = to_upper(name);
+    s.args = std::move(args);
+    append(std::move(s));
+  }
+
+  // ---- ACCEPT ----
+  void handle_accept(const SourceLine& line) {
+    if (any_frame(FrameKind::accept_spec) || any_frame(FrameKind::accept_delay)) {
+      error("nested ACCEPT", "P002");
+      return;
+    }
+    // ACCEPT [n] OF
+    std::string rest = trim(line.text.substr(6));
+    const auto of_pos = to_upper(rest).rfind("OF");
+    if (of_pos == std::string::npos || of_pos + 2 != rest.size()) {
+      error("ACCEPT must end with OF", "P001");
+      return;
+    }
+    Stmt s = base_stmt(StmtKind::accept, line);
+    s.accept_total = trim(rest.substr(0, of_pos));
+    open_frame(FrameKind::accept_spec, std::move(s));
+  }
+
+  void handle_accept_spec_line(const SourceLine& line) {
+    // "ROWS" | "ROWS: 3" | "DONE: ALL"
+    const std::string& text = line.text;
+    const auto colon = text.find(':');
+    std::string name = to_upper(
+        trim(colon == std::string::npos ? text : text.substr(0, colon)));
+    std::string count =
+        colon == std::string::npos ? "1" : trim(text.substr(colon + 1));
+    if (name.empty() || name.find(' ') != std::string::npos) {
+      error("bad message-type line in ACCEPT: '" + line.text + "'", "P001");
+      return;
+    }
+    AcceptSpec spec;
+    spec.type = name;
+    spec.line = line.number;
+    spec.col = line.col;
+    if (to_upper(count) == "ALL") {
+      spec.all = true;
+    } else {
+      spec.count = count;
+    }
+    frames_.back().stmt.specs.push_back(std::move(spec));
+  }
+
+  void handle_delay(const SourceLine& line) {
+    // DELAY <t> THEN
+    std::string rest = trim(line.text.substr(5));
+    const auto then_pos = to_upper(rest).rfind("THEN");
+    if (then_pos == std::string::npos || then_pos + 4 != rest.size()) {
+      error("DELAY must end with THEN", "P001");
+      return;
+    }
+    Frame& f = frames_.back();
+    f.stmt.has_delay = true;
+    f.stmt.delay_value = trim(rest.substr(0, then_pos));
+    f.kind = FrameKind::accept_delay;
+  }
+
+  // ---- CRITICAL ----
+  void handle_critical(const SourceLine& line) {
+    const std::string lock = trim(line.text.substr(8));
+    if (lock.empty()) {
+      error("CRITICAL requires a lock variable", "P001");
+      return;
+    }
+    Stmt s = base_stmt(StmtKind::critical, line);
+    s.text = lock;
+    s.name = to_upper(var_base_name(lock));
+    open_frame(FrameKind::critical, std::move(s));
+  }
+
+  // ---- PRESCHED / SELFSCHED ----
+  /// Parse "DO [label] V = lo, hi[, step]" after the PRESCHED/SELFSCHED
+  /// keyword. Returns false on malformed input.
+  static bool parse_do(const std::string& rest, std::string* label,
+                       std::string* var, std::string* lo, std::string* hi,
+                       std::string* step) {
+    std::string s = trim(rest);
+    if (!starts_with_keyword(to_upper(s), "DO")) return false;
+    s = trim(s.substr(2));
+    // optional label
+    std::size_t p = 0;
+    while (p < s.size() && std::isdigit(static_cast<unsigned char>(s[p]))) ++p;
+    *label = s.substr(0, p);
+    s = trim(s.substr(p));
+    const auto eq = s.find('=');
+    if (eq == std::string::npos) return false;
+    *var = trim(s.substr(0, eq));
+    auto bounds = split_args(s.substr(eq + 1));
+    if (bounds.size() < 2 || bounds.size() > 3) return false;
+    *lo = bounds[0];
+    *hi = bounds[1];
+    *step = bounds.size() == 3 ? bounds[2] : "1";
+    return !var->empty();
+  }
+
+  void handle_sched(const SourceLine& line, bool self) {
+    Stmt s = base_stmt(self ? StmtKind::selfsched : StmtKind::presched, line);
+    if (!parse_do(trim(line.text.substr(self ? 9 : 8)), &s.loop_label,
+                  &s.loop_var, &s.lo, &s.hi, &s.step)) {
+      error(self ? "malformed SELFSCHED DO" : "malformed PRESCHED DO", "P001");
+      return;
+    }
+    open_frame(FrameKind::loop, std::move(s));
+  }
+
+  // ---- PARSEG ----
+  void handle_parseg(const SourceLine& line) {
+    if (any_frame(FrameKind::parseg)) {
+      error("nested PARSEG", "P302");
+      return;
+    }
+    Stmt s = base_stmt(StmtKind::parseg, line);
+    s.segments.emplace_back();
+    open_frame(FrameKind::parseg, std::move(s));
+  }
+
+  Program program_;
+  std::vector<Diagnostic> diags_;
+  std::unique_ptr<Tasktype> tasktype_;
+  std::vector<Frame> frames_;
+  int cur_line_ = 0;
+  int cur_col_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse_program(const std::string& source) {
+  return ParserImpl{}.run(source);
+}
+
+}  // namespace pisces::pfc

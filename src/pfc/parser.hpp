@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfc/ast.hpp"
+#include "pfc/diagnostics.hpp"
+
+namespace pisces::pfc {
+
+struct ParseResult {
+  Program program;
+  std::vector<Diagnostic> diagnostics;  ///< syntax/structure problems (errors)
+  [[nodiscard]] bool ok() const { return !has_errors(diagnostics); }
+};
+
+/// Build the AST for a Pisces Fortran translation unit. The parser always
+/// recovers: a malformed construct is diagnosed and skipped (or entered
+/// with a placeholder, for TASKTYPE headers) so a single run reports every
+/// problem in the file instead of stopping at the first.
+[[nodiscard]] ParseResult parse_program(const std::string& source);
+
+}  // namespace pisces::pfc

@@ -1,27 +1,53 @@
 // pfc — the Pisces Fortran preprocessor command-line driver.
 //
-// Usage: pfc <input.pf> [-o <output.f>]
+// Usage: pfc <input.pf> [-o <output.f>] [--check] [--json] [--Werror]
 //
-// Translates Pisces Fortran to standard Fortran 77 with embedded calls on
-// the PISCES run-time library (paper Section 10). Diagnostics go to stderr;
-// exit status is non-zero if any were produced.
+// Default mode translates Pisces Fortran to standard Fortran 77 with
+// embedded calls on the PISCES run-time library (paper Section 10), after
+// running the semantic analyzer; error-severity diagnostics make pfc refuse
+// to write output. --check runs the analyzer only (the lint mode CI uses),
+// --json prints diagnostics as a JSON array on stdout, --Werror promotes
+// every warning to an error. Human-readable diagnostics go to stderr; exit
+// status is 1 when any error remains, 2 on usage problems.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "pfc/analysis/analyzer.hpp"
+#include "pfc/parser.hpp"
 #include "pfc/translator.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pfc <input.pf> [-o <output.f>] [--check] [--json] [--Werror]\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string input_path;
   std::string output_path;
+  bool check_only = false;
+  bool json = false;
+  bool werror = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
       output_path = argv[++i];
+    } else if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--Werror") {
+      werror = true;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: pfc <input.pf> [-o <output.f>]\n";
+      std::cout << kUsage;
       return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pfc: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
     } else if (input_path.empty()) {
       input_path = arg;
     } else {
@@ -30,7 +56,7 @@ int main(int argc, char** argv) {
     }
   }
   if (input_path.empty()) {
-    std::cerr << "usage: pfc <input.pf> [-o <output.f>]\n";
+    std::cerr << kUsage;
     return 2;
   }
 
@@ -42,21 +68,38 @@ int main(int argc, char** argv) {
   std::ostringstream src;
   src << in.rdbuf();
 
-  pisces::pfc::Translator translator;
-  auto result = translator.translate(src.str());
-  if (!result.ok()) {
-    std::cerr << result.error_text();
+  using namespace pisces::pfc;
+  ParseResult parsed = parse_program(src.str());
+  std::vector<Diagnostic> diags = std::move(parsed.diagnostics);
+  for (Diagnostic& d : analysis::analyze(parsed.program)) {
+    diags.push_back(std::move(d));
   }
+  sort_diagnostics(diags);
+  if (werror) promote_warnings(diags);
 
+  for (const Diagnostic& d : diags) {
+    std::cerr << format_human(input_path, d) << "\n";
+  }
+  if (json) std::cout << format_json(input_path, diags);
+
+  const bool failed = has_errors(diags);
+  if (check_only) return failed ? 1 : 0;
+
+  if (failed) {
+    std::cerr << "pfc: " << input_path
+              << ": errors reported, no output written\n";
+    return 1;
+  }
+  const std::string output = emit_fortran(parsed.program);
   if (output_path.empty()) {
-    std::cout << result.output;
+    if (!json) std::cout << output;
   } else {
     std::ofstream out(output_path);
     if (!out) {
       std::cerr << "pfc: cannot write " << output_path << "\n";
       return 2;
     }
-    out << result.output;
+    out << output;
   }
-  return result.ok() ? 0 : 1;
+  return 0;
 }

@@ -76,11 +76,13 @@ std::vector<SourceLine> read_source(const std::string& text) {
     }
     // Label in columns 1-5 (fixed form) or "<digits> stmt" (free form).
     std::string body = line;
+    std::size_t body_offset = 0;
     if (line.size() >= 1 && std::isdigit(static_cast<unsigned char>(line[0]))) {
       std::size_t p = 0;
       while (p < line.size() && std::isdigit(static_cast<unsigned char>(line[p]))) ++p;
       sl.label = line.substr(0, p);
       body = line.substr(p);
+      body_offset = p;
     } else if (line.size() > 6) {
       std::string label_field = trim(line.substr(0, 5));
       if (!label_field.empty() &&
@@ -89,9 +91,12 @@ std::vector<SourceLine> read_source(const std::string& text) {
           })) {
         sl.label = label_field;
         body = line.substr(6);
+        body_offset = 6;
       }
     }
     std::string stmt = trim(body);
+    const auto first = body.find_first_not_of(" \t\r");
+    sl.col = static_cast<int>(body_offset + (first == std::string::npos ? 0 : first)) + 1;
     // Gather continuations: '&' suffix or fixed-form column-6 marks.
     while (true) {
       if (!stmt.empty() && stmt.back() == '&') {

@@ -10,6 +10,7 @@ namespace pisces::pfc {
 /// line number for diagnostics.
 struct SourceLine {
   int number = 0;          ///< 1-based physical line of the statement start
+  int col = 1;             ///< 1-based column where the statement text starts
   std::string label;       ///< statement label (columns 1-5), "" if none
   std::string text;        ///< statement body, leading/trailing blanks trimmed
   std::string upper;       ///< uppercased copy for keyword matching

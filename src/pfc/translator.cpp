@@ -1,84 +1,11 @@
 #include "pfc/translator.hpp"
 
-#include <optional>
 #include <sstream>
 
+#include "pfc/parser.hpp"
 #include "pfc/source.hpp"
 
 namespace pisces::pfc {
-
-namespace {
-
-std::string trim(const std::string& s) {
-  const auto b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  const auto e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-/// Split "a, b(1,2), c" at top-level commas.
-std::vector<std::string> split_args(const std::string& s) {
-  std::vector<std::string> out;
-  int depth = 0;
-  std::string cur;
-  for (char c : s) {
-    if (c == '(') ++depth;
-    if (c == ')') --depth;
-    if (c == ',' && depth == 0) {
-      out.push_back(trim(cur));
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!trim(cur).empty()) out.push_back(trim(cur));
-  return out;
-}
-
-/// Parse "NAME(arg1, arg2)" -> {NAME, args}; args empty if no parens.
-bool parse_call_form(const std::string& s, std::string* name,
-                     std::vector<std::string>* args) {
-  const auto lp = s.find('(');
-  if (lp == std::string::npos) {
-    *name = trim(s);
-    args->clear();
-    return !name->empty();
-  }
-  const auto rp = s.rfind(')');
-  if (rp == std::string::npos || rp < lp) return false;
-  *name = trim(s.substr(0, lp));
-  *args = split_args(s.substr(lp + 1, rp - lp - 1));
-  return !name->empty();
-}
-
-/// Declared parameter like "INTEGER N" / "REAL A(100)" -> {ftype, decl}.
-struct Param {
-  std::string type;  // INTEGER/REAL/TASKID/WINDOW/CHARACTER/LOGICAL
-  std::string decl;  // N or A(100)
-};
-
-std::optional<Param> parse_param(const std::string& s) {
-  static const char* kTypes[] = {"DOUBLE PRECISION", "INTEGER", "REAL",
-                                 "TASKID", "WINDOW", "CHARACTER", "LOGICAL"};
-  const std::string up = to_upper(s);
-  for (const char* t : kTypes) {
-    if (starts_with_keyword(up, t)) {
-      Param p;
-      p.type = t;
-      p.decl = trim(s.substr(std::string(t).size()));
-      if (p.decl.empty()) return std::nullopt;
-      return p;
-    }
-  }
-  return std::nullopt;
-}
-
-std::string var_base_name(const std::string& decl) {
-  const auto lp = decl.find('(');
-  return trim(lp == std::string::npos ? decl : decl.substr(0, lp));
-}
-
-}  // namespace
 
 std::string TranslateResult::error_text() const {
   std::ostringstream os;
@@ -88,24 +15,36 @@ std::string TranslateResult::error_text() const {
 
 namespace {
 
-class TranslatorImpl {
+/// Base variable name of a declarator, original case ("A(100)" -> "A").
+std::string emit_base_name(const std::string& decl) {
+  const auto lp = decl.find('(');
+  std::string base = lp == std::string::npos ? decl : decl.substr(0, lp);
+  const auto b = base.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = base.find_last_not_of(" \t");
+  return base.substr(b, e - b + 1);
+}
+
+/// Walks the AST and prints the Fortran 77 program. Every formatting rule
+/// (fixed-form labels, column-72 wrapping, deferred argument fetches, the
+/// PISREG trailer) lives here; the parser owns all language recognition.
+class Emitter {
  public:
-  TranslateResult run(const std::string& source) {
-    for (const SourceLine& line : read_source(source)) {
-      current_line_ = line.number;
-      handle(line);
+  std::string run(const Program& program) {
+    for (const auto& item : program.items) {
+      if (item.is_tasktype()) {
+        emit_tasktype(*item.tasktype);
+      } else {
+        emit_stmt(item.stmt);
+      }
     }
-    if (in_tasktype_) error("TASKTYPE '" + tasktype_name_ + "' not closed");
     emit_registration();
-    TranslateResult res;
-    res.output = out_.str();
-    res.errors = std::move(errors_);
-    return res;
+    return out_.str();
   }
 
  private:
-  // ---- emission ----
-  void raw(const std::string& s) { sink() << s << "\n"; }
+  // ---- low-level emission ----
+  void raw(const std::string& s) { out_ << s << "\n"; }
 
   /// Emit one statement in fixed form: label in columns 1-5, text from
   /// column 7, wrapped at column 72 with continuation cards (column 6).
@@ -120,7 +59,7 @@ class TranslatorImpl {
     bool first = true;
     while (true) {
       if (rest.size() <= kBodyWidth) {
-        sink() << (first ? head + " " : "     &") << rest << "\n";
+        out_ << (first ? head + " " : "     &") << rest << "\n";
         return;
       }
       // Break at the last blank or comma that fits, to keep tokens whole.
@@ -132,15 +71,11 @@ class TranslatorImpl {
           break;
         }
       }
-      sink() << (first ? head + " " : "     &") << rest.substr(0, cut) << "\n";
+      out_ << (first ? head + " " : "     &") << rest.substr(0, cut) << "\n";
       rest = rest.substr(cut);
       first = false;
     }
   }
-  std::ostringstream& sink() {
-    return parseg_segments_.empty() ? out_ : parseg_segments_.back();
-  }
-  void error(std::string msg) { errors_.push_back({current_line_, std::move(msg)}); }
 
   std::string temp_var() { return "IPIS" + std::to_string(++temp_counter_); }
   int next_label() { return label_counter_ += 2; }
@@ -159,9 +94,26 @@ class TranslatorImpl {
     return false;
   }
 
-  /// Argument-fetch calls are generated at the TASKTYPE header but must be
-  /// emitted after all declarations; they are held here until the first
-  /// executable statement.
+  /// True when this statement keeps the deferred argument fetches pending:
+  /// Pisces declarations and Fortran specification statements must all be
+  /// emitted before the fetch calls (F77 puts specifications first).
+  static bool defers_arg_fetches(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::message_decl:
+      case StmtKind::handler_decl:
+      case StmtKind::signal_decl:
+      case StmtKind::taskid_decl:
+      case StmtKind::window_decl:
+      case StmtKind::lock_decl:
+      case StmtKind::shared_common:
+        return true;
+      case StmtKind::plain:
+        return is_declaration(to_upper(s.text));
+      default:
+        return false;
+    }
+  }
+
   void flush_arg_fetches() {
     for (const auto& call : pending_arg_fetches_) emit(call);
     pending_arg_fetches_.clear();
@@ -173,579 +125,234 @@ class TranslatorImpl {
     for (const auto& a : args) emit("CALL PISARG(" + a + ")");
   }
 
-  // ---- declarations collected for PISREG ----
-  struct MsgDecl {
-    std::string name;
-    int argc = 0;
-  };
-
-  // ---- statement dispatch ----
-  void handle(const SourceLine& line) {
-    if (line.is_comment) {
-      raw(line.raw);
-      return;
-    }
-    const std::string& up = line.upper;
-
-    // Inside an ACCEPT's type-spec section, lines are type specs.
-    if (accept_state_ == AcceptState::spec) {
-      if (starts_with_keyword(up, "DELAY")) {
-        handle_delay(line);
-        return;
-      }
-      if (starts_with_keyword(up, "END ACCEPT")) {
-        finish_accept(false);
-        return;
-      }
-      if (starts_with_keyword(up, "END TASKTYPE")) {
-        handle_end_tasktype(line);  // reports the unterminated ACCEPT
-        return;
-      }
-      handle_accept_type(line);
-      return;
-    }
-    if (accept_state_ == AcceptState::delay_body &&
-        starts_with_keyword(up, "END ACCEPT")) {
-      finish_accept(true);
-      return;
-    }
-
-    // Emit deferred argument fetches before the first executable statement.
-    if (in_tasktype_ && !pending_arg_fetches_.empty()) {
-      const bool pisces_decl =
-          starts_with_keyword(up, "MESSAGE") || starts_with_keyword(up, "HANDLER") ||
-          starts_with_keyword(up, "SIGNAL") || starts_with_keyword(up, "TASKID") ||
-          starts_with_keyword(up, "WINDOW") || starts_with_keyword(up, "LOCK") ||
-          starts_with_keyword(up, "SHARED COMMON");
-      if (!pisces_decl && !is_declaration(up) &&
-          !starts_with_keyword(up, "END TASKTYPE")) {
-        flush_arg_fetches();
-      }
-    }
-
-    if (starts_with_keyword(up, "TASKTYPE")) return handle_tasktype(line);
-    if (starts_with_keyword(up, "END TASKTYPE")) return handle_end_tasktype(line);
-    if (starts_with_keyword(up, "MESSAGE")) return handle_message(line);
-    if (starts_with_keyword(up, "HANDLER")) return handle_handler(line);
-    if (starts_with_keyword(up, "SIGNAL")) return handle_signal(line);
-    if (starts_with_keyword(up, "TASKID")) return handle_taskid(line);
-    if (starts_with_keyword(up, "WINDOW")) return handle_window(line);
-    if (starts_with_keyword(up, "LOCK")) return handle_lock(line);
-    if (starts_with_keyword(up, "ON")) return handle_initiate(line);
-    if (starts_with_keyword(up, "TO")) return handle_send(line);
-    if (starts_with_keyword(up, "ACCEPT")) return handle_accept(line);
-    if (starts_with_keyword(up, "FORCESPLIT")) {
-      emit("CALL PISFSP()", line.label);
-      return;
-    }
-    if (starts_with_keyword(up, "SHARED COMMON")) return handle_shared_common(line);
-    if (starts_with_keyword(up, "BARRIER")) return handle_barrier(line);
-    if (starts_with_keyword(up, "END BARRIER")) return handle_end_barrier(line);
-    if (starts_with_keyword(up, "CRITICAL")) return handle_critical(line);
-    if (starts_with_keyword(up, "END CRITICAL")) return handle_end_critical(line);
-    if (starts_with_keyword(up, "PRESCHED")) return handle_presched(line);
-    if (starts_with_keyword(up, "SELFSCHED")) return handle_selfsched(line);
-    if (starts_with_keyword(up, "PARSEG")) return handle_parseg(line);
-    if (starts_with_keyword(up, "NEXTSEG")) return handle_nextseg(line);
-    if (starts_with_keyword(up, "ENDSEG")) return handle_endseg(line);
-    if (starts_with_keyword(up, "END DO") && !do_loops_.empty()) {
-      return handle_loop_end(line, /*via_label=*/false);
-    }
-
-    // A labelled line may terminate an open PRESCHED/SELFSCHED DO.
-    if (!line.label.empty() && !do_loops_.empty() &&
-        do_loops_.back().label == line.label) {
-      return handle_loop_end(line, /*via_label=*/true);
-    }
-
-    // Plain Fortran: pass through.
-    emit(line.text, line.label);
-  }
-
-  // ---- TASKTYPE ----
-  void handle_tasktype(const SourceLine& line) {
-    if (in_tasktype_) {
-      error("nested TASKTYPE");
-      return;
-    }
-    std::string name;
-    std::vector<std::string> params;
-    if (!parse_call_form(trim(line.text.substr(8)), &name, &params)) {
-      error("malformed TASKTYPE header");
-      return;
-    }
-    in_tasktype_ = true;
-    tasktype_name_ = to_upper(name);
-    tasktypes_.push_back(tasktype_name_);
-    raw("C ---- tasktype " + tasktype_name_ + " ----");
-    emit("SUBROUTINE PIST" + tasktype_name_);
+  // ---- program units ----
+  void emit_tasktype(const Tasktype& tt) {
+    if (tt.malformed) return;  // diagnosed; there is nothing safe to emit
+    tasktypes_.push_back(tt.name);
+    raw("C ---- tasktype " + tt.name + " ----");
+    emit("SUBROUTINE PIST" + tt.name);
     int index = 0;
-    for (const auto& p : params) {
-      auto param = parse_param(p);
-      if (!param.has_value()) {
-        error("bad TASKTYPE parameter '" + p + "'");
-        continue;
-      }
+    for (const auto& param : tt.params) {
       ++index;
+      const std::string base = emit_base_name(param.decl);
       // Declare now; the argument fetch must wait until the declaration
       // section ends (F77 puts all specifications first).
-      if (param->type == "TASKID") {
-        emit("INTEGER " + param->decl + "(3)");
+      if (param.type == "TASKID") {
+        emit("INTEGER " + param.decl + "(3)");
         pending_arg_fetches_.push_back("CALL PISGAT(" + std::to_string(index) +
-                                       ", " + var_base_name(param->decl) + ")");
-      } else if (param->type == "WINDOW") {
-        emit("INTEGER " + param->decl + "(12)");
+                                       ", " + base + ")");
+      } else if (param.type == "WINDOW") {
+        emit("INTEGER " + param.decl + "(12)");
         pending_arg_fetches_.push_back("CALL PISGAW(" + std::to_string(index) +
-                                       ", " + var_base_name(param->decl) + ")");
+                                       ", " + base + ")");
       } else {
-        emit(param->type + " " + param->decl);
-        const char* getter = param->type == "INTEGER"     ? "PISGAI"
-                             : param->type == "CHARACTER" ? "PISGAC"
-                             : param->type == "LOGICAL"   ? "PISGAL"
-                                                          : "PISGAR";
+        emit(param.type + " " + param.decl);
+        const char* getter = param.type == "INTEGER"     ? "PISGAI"
+                             : param.type == "CHARACTER" ? "PISGAC"
+                             : param.type == "LOGICAL"   ? "PISGAL"
+                                                         : "PISGAR";
         pending_arg_fetches_.push_back(std::string("CALL ") + getter + "(" +
-                                       std::to_string(index) + ", " +
-                                       var_base_name(param->decl) + ")");
+                                       std::to_string(index) + ", " + base +
+                                       ")");
       }
     }
-  }
-
-  void handle_end_tasktype(const SourceLine&) {
-    if (!in_tasktype_) {
-      error("END TASKTYPE outside a TASKTYPE");
-      return;
-    }
-    flush_arg_fetches();  // tasktype body may have been all declarations
-    if (!do_loops_.empty() || barrier_depth_ > 0 || !critical_stack_.empty() ||
-        accept_state_ != AcceptState::none || !parseg_segments_.empty()) {
-      error("unterminated block at END TASKTYPE");
-    }
-    emit("CALL PISEND()");
-    emit("RETURN");
-    emit("END");
-    in_tasktype_ = false;
-    do_loops_.clear();
-    critical_stack_.clear();
-    barrier_depth_ = 0;
-    accept_state_ = AcceptState::none;
-    parseg_segments_.clear();
-  }
-
-  // ---- declarations ----
-  void handle_message(const SourceLine& line) {
-    std::string name;
-    std::vector<std::string> params;
-    if (!parse_call_form(trim(line.text.substr(7)), &name, &params)) {
-      error("malformed MESSAGE declaration");
-      return;
-    }
-    messages_.push_back({to_upper(name), static_cast<int>(params.size())});
-    raw("C     message " + to_upper(name) + " (" + std::to_string(params.size()) +
-        " packets)");
-  }
-
-  void handle_handler(const SourceLine& line) {
-    const std::string name = to_upper(trim(line.text.substr(7)));
-    if (name.empty()) {
-      error("HANDLER requires a message-type name");
-      return;
-    }
-    handlers_.push_back(name);
-    emit("EXTERNAL " + name);
-  }
-
-  void handle_signal(const SourceLine& line) {
-    const std::string name = to_upper(trim(line.text.substr(6)));
-    if (name.empty()) {
-      error("SIGNAL requires a message-type name");
-      return;
-    }
-    signals_.push_back(name);
-    raw("C     signal " + name);
-  }
-
-  void handle_taskid(const SourceLine& line) {
-    // TASKID T, U(10) -> INTEGER T(3), U(3,10)
-    std::vector<std::string> decls = split_args(trim(line.text.substr(6)));
-    std::string out;
-    for (const auto& d : decls) {
-      if (!out.empty()) out += ", ";
-      const auto lp = d.find('(');
-      if (lp == std::string::npos) {
-        out += d + "(3)";
-      } else {
-        out += d.substr(0, lp) + "(3," + d.substr(lp + 1);
+    for (const auto& s : tt.body) {
+      if (s.kind != StmtKind::comment && !pending_arg_fetches_.empty() &&
+          !defers_arg_fetches(s)) {
+        flush_arg_fetches();
       }
+      emit_stmt(s);
     }
-    emit("INTEGER " + out, line.label);
-  }
-
-  void handle_window(const SourceLine& line) {
-    std::vector<std::string> decls = split_args(trim(line.text.substr(6)));
-    std::string out;
-    for (const auto& d : decls) {
-      if (!out.empty()) out += ", ";
-      const auto lp = d.find('(');
-      if (lp == std::string::npos) {
-        out += d + "(12)";
-      } else {
-        out += d.substr(0, lp) + "(12," + d.substr(lp + 1);
-      }
-    }
-    emit("INTEGER " + out, line.label);
-  }
-
-  void handle_lock(const SourceLine& line) {
-    const std::string decls = trim(line.text.substr(4));
-    if (decls.empty()) {
-      error("LOCK requires variable names");
-      return;
-    }
-    emit("INTEGER " + decls, line.label);
-    for (const auto& d : split_args(decls)) locks_.push_back(to_upper(d));
-  }
-
-  void handle_shared_common(const SourceLine& line) {
-    // SHARED COMMON /B/ X(100), Y -> COMMON /B/ ... + registration
-    const std::string rest = trim(line.text.substr(13));
-    emit("COMMON " + rest, line.label);
-    const auto s1 = rest.find('/');
-    const auto s2 = rest.find('/', s1 + 1);
-    if (s1 == std::string::npos || s2 == std::string::npos) {
-      error("SHARED COMMON requires a named block /name/");
-      return;
-    }
-    shared_commons_.push_back(to_upper(trim(rest.substr(s1 + 1, s2 - s1 - 1))));
-  }
-
-  // ---- INITIATE ----
-  void handle_initiate(const SourceLine& line) {
-    // ON <where> INITIATE name(args)
-    const std::string up = line.upper;
-    const auto pos = up.find("INITIATE");
-    if (pos == std::string::npos) {
-      // Not the Pisces ON statement — pass through (e.g. Fortran ON ERROR).
-      emit(line.text, line.label);
-      return;
-    }
-    std::string where = trim(line.text.substr(2, pos - 2));
-    std::string where_up = to_upper(where);
-    std::string code;
-    std::string operand = "0";
-    if (starts_with_keyword(where_up, "CLUSTER")) {
-      code = "1";
-      operand = trim(where.substr(7));
-    } else if (where_up == "ANY") {
-      code = "2";
-    } else if (where_up == "OTHER") {
-      code = "3";
-    } else if (where_up == "SAME") {
-      code = "4";
+    if (!tt.unclosed) {
+      flush_arg_fetches();  // tasktype body may have been all declarations
+      emit("CALL PISEND()");
+      emit("RETURN");
+      emit("END");
     } else {
-      error("bad INITIATE cluster selector '" + where + "'");
-      return;
+      pending_arg_fetches_.clear();
     }
-    std::string name;
-    std::vector<std::string> args;
-    if (!parse_call_form(trim(line.text.substr(pos + 8)), &name, &args)) {
-      error("malformed INITIATE tasktype reference");
-      return;
-    }
-    emit_arg_calls(args);
-    emit("CALL PISINI(" + code + ", " + operand + ", '" + to_upper(name) + "')",
-         line.label);
   }
 
-  // ---- SEND ----
-  void handle_send(const SourceLine& line) {
-    const std::string up = line.upper;
-    const auto pos = up.find(" SEND ");
-    if (pos == std::string::npos) {
-      emit(line.text, line.label);  // plain Fortran TO? pass through
-      return;
-    }
-    std::string dest = trim(line.text.substr(2, pos - 2));
-    const std::string dest_up = to_upper(dest);
-    std::string name;
-    std::vector<std::string> args;
-    if (!parse_call_form(trim(line.text.substr(pos + 6)), &name, &args)) {
-      error("malformed SEND message reference");
-      return;
-    }
+  void emit_stmt_list(const StmtList& stmts) {
+    for (const auto& s : stmts) emit_stmt(s);
+  }
 
-    if (starts_with_keyword(dest_up, "ALL")) {
-      // TO ALL [CLUSTER e] SEND type(args)
-      std::string cluster = "-1";
-      const std::string rest = trim(dest.substr(3));
-      if (!rest.empty()) {
-        if (starts_with_keyword(to_upper(rest), "CLUSTER")) {
-          cluster = trim(rest.substr(7));
-        } else {
-          error("bad broadcast destination '" + dest + "'");
-          return;
+  void emit_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::comment:
+        raw(s.text);
+        return;
+      case StmtKind::plain:
+        emit(s.text, s.label);
+        return;
+      case StmtKind::message_decl:
+        messages_.push_back({s.name, static_cast<int>(s.params.size())});
+        raw("C     message " + s.name + " (" + std::to_string(s.params.size()) +
+            " packets)");
+        return;
+      case StmtKind::handler_decl:
+        handlers_.push_back(s.name);
+        emit("EXTERNAL " + s.name);
+        return;
+      case StmtKind::signal_decl:
+        signals_.push_back(s.name);
+        raw("C     signal " + s.name);
+        return;
+      case StmtKind::taskid_decl:
+        emit_sized_decl(s, "3");
+        return;
+      case StmtKind::window_decl:
+        emit_sized_decl(s, "12");
+        return;
+      case StmtKind::lock_decl:
+        emit("INTEGER " + s.text, s.label);
+        for (const auto& d : s.decls) locks_.push_back(to_upper(d));
+        return;
+      case StmtKind::shared_common:
+        emit("COMMON " + s.common_rest, s.label);
+        if (!s.common_block.empty()) shared_commons_.push_back(s.common_block);
+        return;
+      case StmtKind::initiate:
+        emit_arg_calls(s.args);
+        emit("CALL PISINI(" + s.selector + ", " + s.operand + ", '" + s.name +
+                 "')",
+             s.label);
+        return;
+      case StmtKind::send:
+        emit_arg_calls(s.args);
+        emit("CALL PISSND(" + s.selector + ", " + s.operand + ", '" + s.name +
+                 "')",
+             s.label);
+        return;
+      case StmtKind::broadcast:
+        emit_arg_calls(s.args);
+        emit("CALL PISBRD(" + s.cluster + ", '" + s.name + "')", s.label);
+        return;
+      case StmtKind::accept:
+        emit_accept(s);
+        return;
+      case StmtKind::forcesplit:
+        emit("CALL PISFSP()", s.label);
+        return;
+      case StmtKind::barrier:
+        emit("CALL PISBAR(IPISPR)", s.label);
+        emit("IF (IPISPR .NE. 0) THEN");
+        emit_stmt_list(s.body);
+        if (!s.unterminated) {
+          emit("END IF");
+          emit("CALL PISBRX()");
         }
+        return;
+      case StmtKind::critical:
+        emit("CALL PISLCK(" + s.text + ")", s.label);
+        emit_stmt_list(s.body);
+        if (!s.unterminated) emit("CALL PISUNL(" + s.text + ")");
+        return;
+      case StmtKind::presched:
+        emit_presched(s);
+        return;
+      case StmtKind::selfsched:
+        emit_selfsched(s);
+        return;
+      case StmtKind::parseg:
+        emit_parseg(s);
+        return;
+    }
+  }
+
+  void emit_sized_decl(const Stmt& s, const std::string& size) {
+    // TASKID T, U(10) -> INTEGER T(3), U(3,10)   (12 for WINDOW)
+    std::string out;
+    for (const auto& d : s.decls) {
+      if (!out.empty()) out += ", ";
+      const auto lp = d.find('(');
+      if (lp == std::string::npos) {
+        out += d + "(" + size + ")";
+      } else {
+        out += d.substr(0, lp) + "(" + size + "," + d.substr(lp + 1);
       }
-      emit_arg_calls(args);
-      emit("CALL PISBRD(" + cluster + ", '" + to_upper(name) + "')", line.label);
-      return;
     }
-
-    std::string code;
-    std::string operand = "0";
-    if (dest_up == "PARENT") code = "1";
-    else if (dest_up == "SELF") code = "2";
-    else if (dest_up == "SENDER") code = "3";
-    else if (dest_up == "USER") code = "4";
-    else if (starts_with_keyword(dest_up, "TCONTR")) {
-      code = "6";
-      operand = trim(dest.substr(6));
-    } else {
-      code = "5";  // taskid variable or array element
-      operand = dest;
-    }
-    emit_arg_calls(args);
-    emit("CALL PISSND(" + code + ", " + operand + ", '" + to_upper(name) + "')",
-         line.label);
+    emit("INTEGER " + out, s.label);
   }
 
-  // ---- ACCEPT ----
-  enum class AcceptState { none, spec, delay_body };
-
-  void handle_accept(const SourceLine& line) {
-    if (accept_state_ != AcceptState::none) {
-      error("nested ACCEPT");
-      return;
+  void emit_accept(const Stmt& s) {
+    emit("CALL PISACB()", s.label);
+    for (const auto& spec : s.specs) {
+      if (spec.is_comment) {
+        raw(spec.raw);
+      } else if (spec.all) {
+        emit("CALL PISACA('" + spec.type + "')");
+      } else {
+        emit("CALL PISACT('" + spec.type + "', " + spec.count + ")");
+      }
     }
-    // ACCEPT [n] OF
-    std::string rest = trim(line.text.substr(6));
-    const auto of_pos = to_upper(rest).rfind("OF");
-    if (of_pos == std::string::npos || of_pos + 2 != rest.size()) {
-      error("ACCEPT must end with OF");
-      return;
-    }
-    accept_total_ = trim(rest.substr(0, of_pos));
-    accept_state_ = AcceptState::spec;
-    accept_saw_delay_ = false;
-    emit("CALL PISACB()", line.label);
-  }
-
-  void handle_accept_type(const SourceLine& line) {
-    // "ROWS" | "ROWS: 3" | "DONE: ALL"
-    std::string text = line.text;
-    const auto colon = text.find(':');
-    std::string name = to_upper(trim(colon == std::string::npos
-                                         ? text
-                                         : text.substr(0, colon)));
-    std::string count = colon == std::string::npos ? "1" : trim(text.substr(colon + 1));
-    if (name.empty() || name.find(' ') != std::string::npos) {
-      error("bad message-type line in ACCEPT: '" + line.text + "'");
-      return;
-    }
-    if (to_upper(count) == "ALL") {
-      emit("CALL PISACA('" + name + "')");
-    } else {
-      emit("CALL PISACT('" + name + "', " + count + ")");
+    if (s.has_delay) {
+      emit_accept_wait(s, s.delay_value);
+      emit("IF (IPISTO .NE. 0) THEN");
+      emit_stmt_list(s.delay_body);
+      if (!s.unterminated) emit("END IF");
+    } else if (!s.unterminated) {
+      emit_accept_wait(s, "-1");
     }
   }
 
-  void handle_delay(const SourceLine& line) {
-    // DELAY <t> THEN
-    std::string rest = trim(line.text.substr(5));
-    const auto then_pos = to_upper(rest).rfind("THEN");
-    if (then_pos == std::string::npos || then_pos + 4 != rest.size()) {
-      error("DELAY must end with THEN");
-      return;
-    }
-    accept_delay_value_ = trim(rest.substr(0, then_pos));
-    accept_saw_delay_ = true;
-    finish_accept_wait();
-    emit("IF (IPISTO .NE. 0) THEN");
-    accept_state_ = AcceptState::delay_body;
-  }
-
-  void finish_accept_wait() {
-    if (!accept_total_.empty()) emit("CALL PISACN(" + accept_total_ + ")");
-    const std::string delay = accept_saw_delay_ ? accept_delay_value_ : "-1";
+  void emit_accept_wait(const Stmt& s, const std::string& delay) {
+    if (!s.accept_total.empty()) emit("CALL PISACN(" + s.accept_total + ")");
     emit("CALL PISACW(" + delay + ", IPISTO)");
   }
 
-  void finish_accept(bool had_delay_body) {
-    if (had_delay_body) {
-      emit("END IF");
-    } else {
-      finish_accept_wait();
-    }
-    accept_state_ = AcceptState::none;
-  }
-
-  // ---- BARRIER / CRITICAL ----
-  void handle_barrier(const SourceLine& line) {
-    ++barrier_depth_;
-    emit("CALL PISBAR(IPISPR)", line.label);
-    emit("IF (IPISPR .NE. 0) THEN");
-  }
-
-  void handle_end_barrier(const SourceLine&) {
-    if (barrier_depth_ == 0) {
-      error("END BARRIER without BARRIER");
-      return;
-    }
-    --barrier_depth_;
-    emit("END IF");
-    emit("CALL PISBRX()");
-  }
-
-  void handle_critical(const SourceLine& line) {
-    const std::string lock = trim(line.text.substr(8));
-    if (lock.empty()) {
-      error("CRITICAL requires a lock variable");
-      return;
-    }
-    critical_stack_.push_back(lock);
-    emit("CALL PISLCK(" + lock + ")", line.label);
-  }
-
-  void handle_end_critical(const SourceLine&) {
-    if (critical_stack_.empty()) {
-      error("END CRITICAL without CRITICAL");
-      return;
-    }
-    emit("CALL PISUNL(" + critical_stack_.back() + ")");
-    critical_stack_.pop_back();
-  }
-
-  // ---- PRESCHED / SELFSCHED ----
-  struct DoLoop {
-    bool selfsched = false;
-    std::string label;  // "" => END DO form
-    std::string var;
-    int exit_label = 0;  // selfsched: generated labels
-    int next_label = 0;
-  };
-
-  /// Parse "DO [label] V = lo, hi[, step]" after the PRESCHED/SELFSCHED
-  /// keyword. Returns false on malformed input.
-  bool parse_do(const std::string& rest, std::string* label, std::string* var,
-                std::string* lo, std::string* hi, std::string* step) {
-    std::string s = trim(rest);
-    if (!starts_with_keyword(to_upper(s), "DO")) return false;
-    s = trim(s.substr(2));
-    // optional label
-    std::size_t p = 0;
-    while (p < s.size() && std::isdigit(static_cast<unsigned char>(s[p]))) ++p;
-    *label = s.substr(0, p);
-    s = trim(s.substr(p));
-    const auto eq = s.find('=');
-    if (eq == std::string::npos) return false;
-    *var = trim(s.substr(0, eq));
-    auto bounds = split_args(s.substr(eq + 1));
-    if (bounds.size() < 2 || bounds.size() > 3) return false;
-    *lo = bounds[0];
-    *hi = bounds[1];
-    *step = bounds.size() == 3 ? bounds[2] : "1";
-    return !var->empty();
-  }
-
-  void handle_presched(const SourceLine& line) {
-    std::string label;
-    std::string var;
-    std::string lo;
-    std::string hi;
-    std::string step;
-    if (!parse_do(trim(line.text.substr(8)), &label, &var, &lo, &hi, &step)) {
-      error("malformed PRESCHED DO");
-      return;
-    }
+  void emit_presched(const Stmt& s) {
     // Member I takes iteration positions I, N+I, 2N+I... of the index set.
     const std::string k = temp_var();
-    DoLoop loop;
-    loop.label = label;
-    loop.var = var;
-    do_loops_.push_back(loop);
-    if (label.empty()) {
-      emit("DO " + k + " = PISMEM(), PISCNT(" + lo + ", " + hi + ", " + step +
-               "), PISNMB()",
-           line.label);
+    if (s.loop_label.empty()) {
+      emit("DO " + k + " = PISMEM(), PISCNT(" + s.lo + ", " + s.hi + ", " +
+               s.step + "), PISNMB()",
+           s.label);
     } else {
-      emit("DO " + label + " " + k + " = PISMEM(), PISCNT(" + lo + ", " + hi +
-               ", " + step + "), PISNMB()",
-           line.label);
+      emit("DO " + s.loop_label + " " + k + " = PISMEM(), PISCNT(" + s.lo +
+               ", " + s.hi + ", " + s.step + "), PISNMB()",
+           s.label);
     }
-    emit(var + " = (" + lo + ") + (" + k + " - 1)*(" + step + ")");
-  }
-
-  void handle_selfsched(const SourceLine& line) {
-    std::string label;
-    std::string var;
-    std::string lo;
-    std::string hi;
-    std::string step;
-    if (!parse_do(trim(line.text.substr(9)), &label, &var, &lo, &hi, &step)) {
-      error("malformed SELFSCHED DO");
-      return;
-    }
-    DoLoop loop;
-    loop.selfsched = true;
-    loop.label = label;
-    loop.var = var;
-    loop.next_label = next_label();
-    loop.exit_label = next_label();
-    do_loops_.push_back(loop);
-    emit("CALL PISSSB(" + lo + ", " + hi + ", " + step + ")", line.label);
-    emit("CALL PISSSN(" + var + ", IPISDN)", std::to_string(loop.next_label));
-    emit("IF (IPISDN .NE. 0) GOTO " + std::to_string(loop.exit_label));
-  }
-
-  void handle_loop_end(const SourceLine& line, bool via_label) {
-    DoLoop loop = do_loops_.back();
-    do_loops_.pop_back();
-    if (loop.selfsched) {
-      if (via_label) emit("CONTINUE", line.label);
-      emit("GOTO " + std::to_string(loop.next_label));
-      emit("CONTINUE", std::to_string(loop.exit_label));
+    emit(s.loop_var + " = (" + s.lo + ") + (" + k + " - 1)*(" + s.step + ")");
+    emit_stmt_list(s.body);
+    if (s.unterminated) return;
+    if (s.term_via_label) {
+      emit(s.term_text, s.term_label);  // usually "10 CONTINUE"
     } else {
-      if (via_label) {
-        emit(line.text, line.label);  // usually "10 CONTINUE"
-      } else {
-        emit("END DO");
-      }
+      emit("END DO");
     }
   }
 
-  // ---- PARSEG ----
-  void handle_parseg(const SourceLine&) {
-    if (!parseg_segments_.empty()) {
-      error("nested PARSEG");
-      return;
-    }
-    parseg_segments_.emplace_back();
+  void emit_selfsched(const Stmt& s) {
+    const int next = next_label();
+    const int exit = next_label();
+    emit("CALL PISSSB(" + s.lo + ", " + s.hi + ", " + s.step + ")", s.label);
+    emit("CALL PISSSN(" + s.loop_var + ", IPISDN)", std::to_string(next));
+    emit("IF (IPISDN .NE. 0) GOTO " + std::to_string(exit));
+    emit_stmt_list(s.body);
+    if (s.unterminated) return;
+    if (s.term_via_label) emit("CONTINUE", s.term_label);
+    emit("GOTO " + std::to_string(next));
+    emit("CONTINUE", std::to_string(exit));
   }
 
-  void handle_nextseg(const SourceLine&) {
-    if (parseg_segments_.empty()) {
-      error("NEXTSEG outside PARSEG");
-      return;
-    }
-    parseg_segments_.emplace_back();
-  }
-
-  void handle_endseg(const SourceLine&) {
-    if (parseg_segments_.empty()) {
-      error("ENDSEG without PARSEG");
-      return;
-    }
-    std::vector<std::ostringstream> segs = std::move(parseg_segments_);
-    parseg_segments_.clear();
-    const int n = static_cast<int>(segs.size());
+  void emit_parseg(const Stmt& s) {
+    if (s.unterminated) return;  // diagnosed; segments have no join point
+    const int n = static_cast<int>(s.segments.size());
     for (int k = 0; k < n; ++k) {
       emit("IF (PISSGQ(" + std::to_string(k + 1) + ", " + std::to_string(n) +
            ")) THEN");
-      out_ << segs[static_cast<std::size_t>(k)].str();
+      emit_stmt_list(s.segments[static_cast<std::size_t>(k)]);
       emit("END IF");
     }
   }
 
   // ---- registration subroutine ----
+  struct MsgDecl {
+    std::string name;
+    int argc = 0;
+  };
+
   void emit_registration() {
     raw("C ---- generated by the Pisces preprocessor ----");
     emit("SUBROUTINE PISREG");
@@ -766,36 +373,30 @@ class TranslatorImpl {
   }
 
   std::ostringstream out_;
-  std::vector<Diagnostic> errors_;
-  int current_line_ = 0;
   int temp_counter_ = 0;
   int label_counter_ = 90000;
 
-  bool in_tasktype_ = false;
-  std::string tasktype_name_;
   std::vector<std::string> tasktypes_;
   std::vector<MsgDecl> messages_;
   std::vector<std::string> handlers_;
   std::vector<std::string> signals_;
   std::vector<std::string> shared_commons_;
   std::vector<std::string> locks_;
-
-  AcceptState accept_state_ = AcceptState::none;
-  std::string accept_total_;
-  std::string accept_delay_value_;
-  bool accept_saw_delay_ = false;
-
-  int barrier_depth_ = 0;
-  std::vector<std::string> critical_stack_;
-  std::vector<DoLoop> do_loops_;
-  std::vector<std::ostringstream> parseg_segments_;
   std::vector<std::string> pending_arg_fetches_;
 };
 
 }  // namespace
 
+std::string emit_fortran(const Program& program) {
+  return Emitter{}.run(program);
+}
+
 TranslateResult Translator::translate(const std::string& source) {
-  return TranslatorImpl{}.run(source);
+  ParseResult parsed = parse_program(source);
+  TranslateResult res;
+  res.output = emit_fortran(parsed.program);
+  res.errors = std::move(parsed.diagnostics);
+  return res;
 }
 
 }  // namespace pisces::pfc

@@ -3,13 +3,10 @@
 #include <string>
 #include <vector>
 
-namespace pisces::pfc {
+#include "pfc/ast.hpp"
+#include "pfc/diagnostics.hpp"
 
-/// A translation problem, with the 1-based source line it was found on.
-struct Diagnostic {
-  int line = 0;
-  std::string message;
-};
+namespace pisces::pfc {
 
 struct TranslateResult {
   std::string output;  ///< standard Fortran 77 with PIS* run-time calls
@@ -17,6 +14,12 @@ struct TranslateResult {
   [[nodiscard]] bool ok() const { return errors.empty(); }
   [[nodiscard]] std::string error_text() const;
 };
+
+/// Generate the standard Fortran 77 program (with embedded PIS* run-time
+/// calls and the PISREG registration subroutine) for a parsed program.
+/// Emission is total: even a program with diagnostics produces output,
+/// callers decide whether to use it.
+[[nodiscard]] std::string emit_fortran(const Program& program);
 
 /// The Pisces Fortran preprocessor (Section 10): "A preprocessor converts
 /// Pisces Fortran programs into standard Fortran 77, with embedded calls on
@@ -43,6 +46,11 @@ struct TranslateResult {
 /// Fortran subprograms that run sequentially"). A registration subroutine
 /// PISREG is appended, binding tasktypes, message types, handlers and shared
 /// blocks to the run-time library.
+///
+/// The front door is now two-stage: parse_program() builds the AST
+/// (pfc/parser.hpp) and emit_fortran() walks it; `translate` is the
+/// convenience wrapper keeping the historical single-call interface. The
+/// semantic analyzer (pfc/analysis/analyzer.hpp) consumes the same AST.
 class Translator {
  public:
   TranslateResult translate(const std::string& source);

@@ -1,0 +1,446 @@
+// Unit tests of the pfc semantic analyzer (pfc/analysis): the protocol,
+// blocking and force check families, the diagnostics plumbing, and static /
+// run-time parity for divergent SELFSCHED detection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "pfc/analysis/analyzer.hpp"
+#include "pfc/parser.hpp"
+
+namespace {
+
+using pisces::pfc::Diagnostic;
+using pisces::pfc::Severity;
+
+/// Analyzer diagnostics only (parser diagnostics are the translator tests'
+/// job); most cases here are syntactically clean by construction.
+std::vector<Diagnostic> analyze(const std::string& source) {
+  auto parsed = pisces::pfc::parse_program(source);
+  EXPECT_TRUE(parsed.ok()) << "unexpected parse error in test source";
+  return pisces::pfc::analysis::analyze(parsed.program);
+}
+
+std::vector<std::string> codes(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  for (const auto& d : diags) out.push_back(d.code);
+  return out;
+}
+
+bool has_code(const std::vector<Diagnostic>& diags, const std::string& code) {
+  const auto cs = codes(diags);
+  return std::find(cs.begin(), cs.end(), code) != cs.end();
+}
+
+const Diagnostic& find_code(const std::vector<Diagnostic>& diags,
+                            const std::string& code) {
+  for (const auto& d : diags) {
+    if (d.code == code) return d;
+  }
+  ADD_FAILURE() << "code " << code << " not reported";
+  static const Diagnostic none{};
+  return none;
+}
+
+// ---- protocol checks ----
+
+TEST(PfcAnalysis, SendOfUndeclaredMessageIsP101) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "TO SELF SEND NOPE(1)\n"
+      "END TASKTYPE\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].code, "P101");
+  EXPECT_EQ(d[0].severity, Severity::error);
+  EXPECT_EQ(d[0].line, 2);
+}
+
+TEST(PfcAnalysis, SendArityMismatchIsP102) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE M(INTEGER A, INTEGER B)\n"
+      "TO SELF SEND M(1)\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P102"});
+}
+
+TEST(PfcAnalysis, InitiateUndeclaredAndArityAreP103P104) {
+  const auto d = analyze(
+      "TASKTYPE T(INTEGER N)\n"
+      "ON ANY INITIATE GHOST(1)\n"
+      "ON ANY INITIATE T(1, 2)\n"
+      "END TASKTYPE\n");
+  EXPECT_TRUE(has_code(d, "P103"));
+  EXPECT_TRUE(has_code(d, "P104"));
+}
+
+TEST(PfcAnalysis, AcceptOfNeverSentTypeIsP105Warning) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE QUIET()\n"
+      "ACCEPT 1 OF\n"
+      "  QUIET\n"
+      "DELAY 10 THEN\n"
+      "      CONTINUE\n"
+      "END ACCEPT\n"
+      "END TASKTYPE\n");
+  ASSERT_EQ(codes(d), std::vector<std::string>{"P105"});
+  EXPECT_EQ(d[0].severity, Severity::warning);
+  EXPECT_EQ(d[0].line, 4);  // anchored at the spec line, not the ACCEPT
+}
+
+TEST(PfcAnalysis, HandlerAndSignalForSameTypeIsP106) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE M()\n"
+      "HANDLER M\n"
+      "SIGNAL M\n"
+      "TO SELF SEND M()\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P106"});
+  EXPECT_EQ(d[0].line, 4);  // the later, contradicting declaration
+}
+
+TEST(PfcAnalysis, TasktypeUnreachableFromEntryIsP107) {
+  const auto d = analyze(
+      "TASKTYPE ROOT()\n"
+      "ON ANY INITIATE MID()\n"
+      "END TASKTYPE\n"
+      "TASKTYPE MID()\n"
+      "      CONTINUE\n"
+      "END TASKTYPE\n"
+      "TASKTYPE ISLAND()\n"
+      "ON ANY INITIATE ISLAND2()\n"
+      "END TASKTYPE\n"
+      "TASKTYPE ISLAND2()\n"
+      "      CONTINUE\n"
+      "END TASKTYPE\n");
+  // ISLAND initiates ISLAND2, but nothing reaches ISLAND itself: both are
+  // unreachable; MID (initiated from the entry) is not.
+  EXPECT_EQ(codes(d), (std::vector<std::string>{"P107", "P107"}));
+  EXPECT_EQ(find_code(d, "P107").severity, Severity::warning);
+}
+
+TEST(PfcAnalysis, ConflictingMessageRedeclarationIsP109) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE M(INTEGER A)\n"
+      "MESSAGE M(INTEGER A, INTEGER B)\n"
+      "TO SELF SEND M(1)\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P109"});
+}
+
+TEST(PfcAnalysis, LiteralArgumentTypeMismatchIsP110) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE M(INTEGER A, REAL B, CHARACTER C)\n"
+      "TO SELF SEND M(1.5, 2, 'OK')\n"
+      "TO SELF SEND M(1, 2.0, 'OK')\n"
+      "TO SELF SEND M(N, X, S)\n"
+      "END TASKTYPE\n");
+  // line 3: 1.5 vs INTEGER and 2 vs REAL; line 4 and 5 are fine (variables
+  // are unknown and stay unchecked).
+  EXPECT_EQ(codes(d), (std::vector<std::string>{"P110", "P110"}));
+  EXPECT_EQ(d[0].line, 3);
+  EXPECT_EQ(d[1].line, 3);
+}
+
+// ---- blocking checks ----
+
+TEST(PfcAnalysis, DelaylessAcceptNobodyCanSatisfyIsP201) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE M()\n"
+      "ACCEPT 1 OF\n"
+      "  M\n"
+      "END ACCEPT\n"
+      "END TASKTYPE\n");
+  EXPECT_TRUE(has_code(d, "P201"));
+  EXPECT_EQ(find_code(d, "P201").severity, Severity::warning);
+}
+
+TEST(PfcAnalysis, DelayedAcceptIsNotP201) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE M()\n"
+      "ACCEPT 1 OF\n"
+      "  M\n"
+      "DELAY 100 THEN\n"
+      "      CONTINUE\n"
+      "END ACCEPT\n"
+      "END TASKTYPE\n");
+  EXPECT_FALSE(has_code(d, "P201"));
+}
+
+TEST(PfcAnalysis, MutualAcceptBeforeSendIsP202) {
+  const auto d = analyze(
+      "TASKTYPE A()\n"
+      "MESSAGE PING()\n"
+      "MESSAGE PONG()\n"
+      "ON ANY INITIATE B()\n"
+      "ACCEPT 1 OF\n"
+      "  PONG\n"
+      "END ACCEPT\n"
+      "TO ALL SEND PING()\n"
+      "END TASKTYPE\n"
+      "TASKTYPE B()\n"
+      "ACCEPT 1 OF\n"
+      "  PING\n"
+      "END ACCEPT\n"
+      "TO PARENT SEND PONG()\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P202"});
+}
+
+TEST(PfcAnalysis, SendBeforeAcceptBreaksTheCycleNoP202) {
+  const auto d = analyze(
+      "TASKTYPE A()\n"
+      "MESSAGE PING()\n"
+      "MESSAGE PONG()\n"
+      "ON ANY INITIATE B()\n"
+      "TO ALL SEND PING()\n"
+      "ACCEPT 1 OF\n"
+      "  PONG\n"
+      "END ACCEPT\n"
+      "END TASKTYPE\n"
+      "TASKTYPE B()\n"
+      "ACCEPT 1 OF\n"
+      "  PING\n"
+      "END ACCEPT\n"
+      "TO PARENT SEND PONG()\n"
+      "END TASKTYPE\n");
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(PfcAnalysis, ToParentInUninitiatedEntryIsP203) {
+  const auto d = analyze(
+      "TASKTYPE ROOT()\n"
+      "MESSAGE M()\n"
+      "TO PARENT SEND M()\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P203"});
+}
+
+TEST(PfcAnalysis, ToParentFromInitiatedTasktypeIsFine) {
+  const auto d = analyze(
+      "TASKTYPE ROOT()\n"
+      "MESSAGE M()\n"
+      "ON ANY INITIATE KID()\n"
+      "ACCEPT 1 OF\n"
+      "  M\n"
+      "END ACCEPT\n"
+      "END TASKTYPE\n"
+      "TASKTYPE KID()\n"
+      "TO PARENT SEND M()\n"
+      "END TASKTYPE\n");
+  EXPECT_TRUE(d.empty());
+}
+
+// ---- force checks ----
+
+TEST(PfcAnalysis, ForceConstructsOutsideForcesplitAreP301) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "LOCK L\n"
+      "BARRIER\n"
+      "      CONTINUE\n"
+      "END BARRIER\n"
+      "CRITICAL L\n"
+      "      CONTINUE\n"
+      "END CRITICAL\n"
+      "PRESCHED DO 10 I = 1, 4\n"
+      "      CONTINUE\n"
+      "10    CONTINUE\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), (std::vector<std::string>{"P301", "P301", "P301"}));
+}
+
+TEST(PfcAnalysis, CriticalOnUndeclaredLockIsP303) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "FORCESPLIT\n"
+      "CRITICAL NOLOCK\n"
+      "      CONTINUE\n"
+      "END CRITICAL\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P303"});
+}
+
+TEST(PfcAnalysis, SelfschedInsideBarrierIsP304) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "FORCESPLIT\n"
+      "BARRIER\n"
+      "SELFSCHED DO 10 I = 1, 8\n"
+      "      CONTINUE\n"
+      "10    CONTINUE\n"
+      "END BARRIER\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P304"});
+}
+
+TEST(PfcAnalysis, IdenticalSelfschedAcrossParsegIsClean) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "FORCESPLIT\n"
+      "PARSEG\n"
+      "SELFSCHED DO 10 I = 1, 10\n"
+      "      CONTINUE\n"
+      "10    CONTINUE\n"
+      "NEXTSEG\n"
+      "SELFSCHED DO 20 J = 1, 10\n"
+      "      CONTINUE\n"
+      "20    CONTINUE\n"
+      "ENDSEG\n"
+      "END TASKTYPE\n");
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(PfcAnalysis, UnsynchronizedSharedWriteIsP305) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "SHARED COMMON /S/ TOT\n"
+      "FORCESPLIT\n"
+      "      TOT = 1.0\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P305"});
+  EXPECT_EQ(d[0].severity, Severity::warning);
+}
+
+TEST(PfcAnalysis, PartitionedLoopWriteIsNotARace) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "SHARED COMMON /S/ A(100)\n"
+      "FORCESPLIT\n"
+      "PRESCHED DO 10 I = 1, 100\n"
+      "      A(I) = 0.0\n"
+      "10    CONTINUE\n"
+      "END TASKTYPE\n");
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(PfcAnalysis, LoopWriteNotIndexedByInductionVariableIsP305) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "SHARED COMMON /S/ A(100)\n"
+      "FORCESPLIT\n"
+      "PRESCHED DO 10 I = 1, 100\n"
+      "      A(1) = 0.0\n"
+      "10    CONTINUE\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P305"});
+}
+
+TEST(PfcAnalysis, InconsistentLockGuardingIsP306) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "SHARED COMMON /S/ TOT\n"
+      "LOCK L1, L2\n"
+      "FORCESPLIT\n"
+      "CRITICAL L1\n"
+      "      TOT = TOT + 1.0\n"
+      "END CRITICAL\n"
+      "CRITICAL L2\n"
+      "      TOT = TOT + 2.0\n"
+      "END CRITICAL\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P306"});
+}
+
+// ---- diagnostics plumbing ----
+
+TEST(PfcAnalysis, WerrorPromotesWarningsToErrors) {
+  auto d = analyze(
+      "TASKTYPE ROOT()\n"
+      "MESSAGE M()\n"
+      "TO PARENT SEND M()\n"
+      "END TASKTYPE\n");
+  ASSERT_FALSE(pisces::pfc::has_errors(d));
+  pisces::pfc::promote_warnings(d);
+  EXPECT_TRUE(pisces::pfc::has_errors(d));
+}
+
+TEST(PfcAnalysis, HumanFormatIsCompilerStyle) {
+  const Diagnostic d{12, "boom", 3, Severity::warning, "P305"};
+  EXPECT_EQ(pisces::pfc::format_human("x.pf", d),
+            "x.pf:12:3: warning: P305: boom");
+}
+
+TEST(PfcAnalysis, JsonFormatEscapesAndListsEveryField) {
+  const std::vector<Diagnostic> diags{
+      {1, "say \"hi\"", 2, Severity::error, "P101"}};
+  const std::string json = pisces::pfc::format_json("a.pf", diags);
+  EXPECT_NE(json.find("\"file\": \"a.pf\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"P101\""), std::string::npos);
+  EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(PfcAnalysis, DiagnosticsAreSortedByLine) {
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "MESSAGE M(INTEGER A)\n"
+      "TO SELF SEND M(1, 2)\n"
+      "TO SELF SEND GONE()\n"
+      "TO SELF SEND M(9, 9)\n"
+      "END TASKTYPE\n");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end(),
+                             [](const Diagnostic& a, const Diagnostic& b) {
+                               return a.line < b.line;
+                             }));
+}
+
+// ---- static / run-time parity ----
+
+/// The static P304 check exists because the run time already rejects
+/// divergent SELFSCHED sequences; this pins the two to each other. The same
+/// program shape — members reaching SELFSCHED loops with different bounds —
+/// must (a) throw std::logic_error when executed and (b) be flagged P304 by
+/// the analyzer on the equivalent Pisces Fortran.
+TEST(PfcAnalysis, DivergentSelfschedMatchesRuntimeRejection) {
+  namespace rt = pisces::rt;
+  pisces::config::Configuration cfg = pisces::config::Configuration::simple(1);
+  cfg.clusters[0].secondary_pes.push_back(4);  // 2 force members
+  pisces::sim::Engine eng;
+  pisces::flex::Machine machine{eng};
+  pisces::mmos::System sys{machine};
+  auto runtime = std::make_unique<rt::Runtime>(sys, std::move(cfg));
+  runtime->register_tasktype("main", [](rt::TaskContext& ctx) {
+    ctx.forcesplit([](rt::ForceContext& fc) {
+      if (fc.is_primary()) {
+        fc.selfsched(1, 10, 1, [](std::int64_t) {});
+      } else {
+        fc.selfsched(11, 20, 1, [](std::int64_t) {});
+      }
+    });
+  });
+  runtime->boot();
+  runtime->user_initiate(1, "main");
+  EXPECT_THROW(runtime->run(), std::logic_error);
+
+  // The analyzer's static mirror of the same divergence, via PARSEG (the
+  // dialect's way to put members on different control paths).
+  const auto d = analyze(
+      "TASKTYPE T()\n"
+      "FORCESPLIT\n"
+      "PARSEG\n"
+      "SELFSCHED DO 10 I = 1, 10\n"
+      "      CONTINUE\n"
+      "10    CONTINUE\n"
+      "NEXTSEG\n"
+      "SELFSCHED DO 20 J = 11, 20\n"
+      "      CONTINUE\n"
+      "20    CONTINUE\n"
+      "ENDSEG\n"
+      "END TASKTYPE\n");
+  EXPECT_EQ(codes(d), std::vector<std::string>{"P304"});
+}
+
+}  // namespace

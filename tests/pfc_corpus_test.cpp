@@ -1,0 +1,135 @@
+// Corpus tests of the pfc semantic analyzer: every .pf file under
+// tests/pfc_corpus/bad/ carries "C EXPECT: P### ..." annotations naming the
+// exact set of diagnostic codes it must produce; good/ files must be fully
+// clean (no errors, no warnings). The corpus doubles as the acceptance
+// gate: at least 12 distinct codes across all three check families, and the
+// shipped example both lints clean and translates to its pinned golden.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pfc/analysis/analyzer.hpp"
+#include "pfc/parser.hpp"
+#include "pfc/translator.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<fs::path> corpus_files(const char* subdir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(fs::path(PFC_CORPUS_DIR) / subdir)) {
+    if (entry.path().extension() == ".pf") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Parse "C EXPECT: P101 P102" annotation lines (there may be several).
+std::set<std::string> expected_codes(const std::string& source) {
+  std::set<std::string> out;
+  std::istringstream is(source);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find("EXPECT:");
+    if (line.empty() || (line[0] != 'C' && line[0] != 'c') ||
+        pos == std::string::npos) {
+      continue;
+    }
+    std::istringstream codes(line.substr(pos + 7));
+    std::string code;
+    while (codes >> code) out.insert(code);
+  }
+  return out;
+}
+
+/// Parser + analyzer diagnostics for one source, as the CLI combines them.
+std::vector<pisces::pfc::Diagnostic> all_diagnostics(const std::string& source) {
+  auto parsed = pisces::pfc::parse_program(source);
+  std::vector<pisces::pfc::Diagnostic> diags = std::move(parsed.diagnostics);
+  for (auto& d : pisces::pfc::analysis::analyze(parsed.program)) {
+    diags.push_back(std::move(d));
+  }
+  return diags;
+}
+
+std::set<std::string> actual_codes(const std::string& source) {
+  std::set<std::string> out;
+  for (const auto& d : all_diagnostics(source)) out.insert(d.code);
+  return out;
+}
+
+}  // namespace
+
+TEST(PfcCorpus, BadProgramsReportExactlyTheirAnnotatedCodes) {
+  const auto files = corpus_files("bad");
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    const std::string src = slurp(path);
+    const auto expected = expected_codes(src);
+    ASSERT_FALSE(expected.empty()) << path << " has no C EXPECT: annotation";
+    EXPECT_EQ(actual_codes(src), expected) << path;
+  }
+}
+
+TEST(PfcCorpus, GoodProgramsAreCompletelyClean) {
+  const auto files = corpus_files("good");
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    const auto diags = all_diagnostics(slurp(path));
+    EXPECT_TRUE(diags.empty()) << path << ": first diagnostic: "
+                               << (diags.empty() ? "" : diags.front().message);
+  }
+}
+
+// Acceptance: the bad corpus exercises at least 12 distinct codes and all
+// three analysis families (protocol P1xx, blocking P2xx, force P3xx).
+TEST(PfcCorpus, CoversTwelveCodesAcrossAllThreeFamilies) {
+  std::set<std::string> all;
+  for (const auto& path : corpus_files("bad")) {
+    const auto codes = actual_codes(slurp(path));
+    all.insert(codes.begin(), codes.end());
+  }
+  EXPECT_GE(all.size(), 12u);
+  for (const char* family : {"P1", "P2", "P3"}) {
+    const bool present =
+        std::any_of(all.begin(), all.end(), [family](const std::string& c) {
+          return c.rfind(family, 0) == 0;
+        });
+    EXPECT_TRUE(present) << "no code from family " << family << "xx";
+  }
+}
+
+// The shipped example must lint clean even under --Werror semantics...
+TEST(PfcCorpus, ExampleMasterWorkerLintsClean) {
+  const std::string src =
+      slurp(fs::path(PFC_EXAMPLES_DIR) / "master_worker.pf");
+  EXPECT_TRUE(all_diagnostics(src).empty());
+}
+
+// ...and its translation is pinned: parse -> AST -> emit reproduces the
+// golden byte for byte, guarding the front-end refactor against emitter
+// drift.
+TEST(PfcCorpus, ExampleMasterWorkerTranslationMatchesGolden) {
+  const std::string src =
+      slurp(fs::path(PFC_EXAMPLES_DIR) / "master_worker.pf");
+  auto parsed = pisces::pfc::parse_program(src);
+  ASSERT_TRUE(parsed.ok());
+  const std::string golden =
+      slurp(fs::path(PFC_CORPUS_DIR) / "golden" / "master_worker.f");
+  EXPECT_EQ(pisces::pfc::emit_fortran(parsed.program), golden);
+}
