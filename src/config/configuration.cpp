@@ -114,6 +114,16 @@ std::vector<std::string> Configuration::validate(const flex::MachineSpec& spec) 
   if (supervision.backoff_cap < supervision.backoff_base) {
     err("supervision backoff cap must be >= the base");
   }
+  if (reliable.max_retries < 0) err("reliable retry budget must be >= 0");
+  if (reliable.backoff_base <= 0) err("reliable backoff base must be > 0");
+  if (reliable.backoff_factor < 1.0) err("reliable backoff factor must be >= 1");
+  if (reliable.backoff_cap < reliable.backoff_base) {
+    err("reliable backoff cap must be >= the base");
+  }
+  if (reliable.ack_flush_ticks <= 0) err("reliable ack flush window must be > 0");
+  if (reliable.send_deadline < 0) {
+    err("reliable send deadline must be >= 0 (0 disables it)");
+  }
   return errors;
 }
 
@@ -191,6 +201,12 @@ void Configuration::save(std::ostream& os) const {
        << supervision.backoff_base << " " << prob(supervision.backoff_factor)
        << " " << supervision.backoff_cap << " "
        << (supervision.migrate ? 1 : 0) << "\n";
+  }
+  if (reliable.enabled) {
+    os << "reliable " << reliable.max_retries << " " << reliable.backoff_base
+       << " " << prob(reliable.backoff_factor) << " " << reliable.backoff_cap
+       << " " << reliable.ack_flush_ticks << " " << reliable.send_deadline
+       << "\n";
   }
   os << "end\n";
 }
@@ -301,6 +317,11 @@ Configuration Configuration::load(std::istream& is) {
           migrate;
       cfg.supervision.enabled = true;
       cfg.supervision.migrate = migrate != 0;
+    } else if (key == "reliable") {
+      ls >> cfg.reliable.max_retries >> cfg.reliable.backoff_base >>
+          cfg.reliable.backoff_factor >> cfg.reliable.backoff_cap >>
+          cfg.reliable.ack_flush_ticks >> cfg.reliable.send_deadline;
+      cfg.reliable.enabled = true;
     } else {
       throw std::runtime_error("Configuration::load: unknown key '" + key + "'");
     }

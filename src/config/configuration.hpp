@@ -73,6 +73,24 @@ struct SupervisionConfig {
   bool migrate = true;  ///< re-route queued work off dead clusters
 };
 
+/// Reliable-transport policy stored with the configuration. When enabled,
+/// every application message rides a per-(sender PE, receiver PE) channel:
+/// copies carry channel sequence numbers, receivers suppress duplicates and
+/// ack after a short flush window, and senders hold unacked messages in a
+/// retransmit buffer with exponential backoff (delay = base · factor^attempt,
+/// capped). When the retry budget is exhausted — or the optional absolute
+/// send deadline passes — the sender receives a typed _SENDFAIL message
+/// instead of the transfer silently becoming a dead letter.
+struct ReliableConfig {
+  bool enabled = false;
+  int max_retries = 6;                  ///< retransmit attempts after the first copy
+  sim::Tick backoff_base = 150'000;     ///< first retransmit delay
+  double backoff_factor = 2.0;
+  sim::Tick backoff_cap = 2'000'000;    ///< retransmit delay ceiling
+  sim::Tick ack_flush_ticks = 20'000;   ///< receiver ack latency (flush window)
+  sim::Tick send_deadline = 0;          ///< 0 = none; else give up after this many ticks
+};
+
 /// A PISCES 2 run configuration: "A particular mapping is called a
 /// configuration. ... Configurations may be saved on files and reused or
 /// edited as desired for later runs."
@@ -87,6 +105,7 @@ struct Configuration {
   TraceSettings trace;
   flex::FaultPlan faults;  ///< deterministic fault-injection plan (empty = none)
   SupervisionConfig supervision;  ///< session-layer restart/escalation policy
+  ReliableConfig reliable;  ///< opt-in reliable message transport (acks + retransmit)
   /// Fan-out `k` of the collective trees (TO ALL distribution, force
   /// barrier/reduce). Each tree node forwards to at most `k` children, so a
   /// collective over n parties costs O(log_k n) charged hops.

@@ -172,10 +172,34 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
       if (is >> h.pe >> h.at) cfg_.faults.pe_halts.push_back(h);
       else out << "usage: fault halt <pe> <tick>\n";
     } else if (sub == "bus") {
-      auto& f = cfg_.faults;
-      if (!(is >> f.bus_loss >> f.bus_duplication >> f.bus_delay_probability >>
-            f.bus_delay_ticks)) {
-        out << "usage: fault bus <loss> <dup> <delay-prob> <delay-ticks>\n";
+      // One uniform draw per physical transfer picks at most one of
+      // loss/dup/delay, so the three probabilities share a single unit
+      // budget. Duplication and loss still compose on one *logical*
+      // transfer once retransmission is on: each retry is its own draw.
+      double loss = 0;
+      double dup = 0;
+      double delay_prob = 0;
+      sim::Tick delay_ticks = 0;
+      if (!(is >> loss >> dup >> delay_prob >> delay_ticks)) {
+        out << "usage: fault bus <loss> <dup> <delay-prob> <delay-ticks>\n"
+               "  (one draw per transfer picks at most one fault, so the\n"
+               "   probabilities must sum to <= 1; with `reliable on`, loss\n"
+               "   and duplication still compose across retries of one send)\n";
+      } else if (loss < 0 || loss > 1 || dup < 0 || dup > 1 ||
+                 delay_prob < 0 || delay_prob > 1) {
+        out << "error: each bus fault probability must be in [0, 1] (got loss="
+            << loss << " dup=" << dup << " delay-prob=" << delay_prob << ")\n";
+      } else if (loss + dup + delay_prob > 1.0) {
+        out << "error: bus fault probabilities must sum to <= 1 because one "
+               "draw per transfer picks at most one fault: loss " << loss
+            << " + dup " << dup << " + delay-prob " << delay_prob << " = "
+            << loss + dup + delay_prob << "\n";
+      } else {
+        auto& f = cfg_.faults;
+        f.bus_loss = loss;
+        f.bus_duplication = dup;
+        f.bus_delay_probability = delay_prob;
+        f.bus_delay_ticks = delay_ticks;
       }
     } else if (sub == "heap") {
       flex::FaultPlan::HeapOutage w;
@@ -230,6 +254,44 @@ bool ConfigMenu::apply(const std::string& line, std::ostream& out) {
       }
     } else {
       out << "unknown supervise subcommand '" << sub << "'\n";
+    }
+  } else if (cmd == "reliable") {
+    std::string sub;
+    auto& rel = cfg_.reliable;
+    if (!(is >> sub)) {
+      out << "usage: reliable on|off|retries|backoff|ack-flush|deadline ...\n";
+    } else if (sub == "on") {
+      rel.enabled = true;
+    } else if (sub == "off") {
+      rel.enabled = false;
+    } else if (sub == "retries") {
+      int n = 0;
+      if (is >> n && n >= 0) rel.max_retries = n;
+      else out << "usage: reliable retries <n>  (n >= 0)\n";
+    } else if (sub == "backoff") {
+      sim::Tick base = 0;
+      double factor = 0;
+      sim::Tick cap = 0;
+      if (!(is >> base >> factor >> cap)) {
+        out << "usage: reliable backoff <base> <factor> <cap>\n";
+      } else if (base <= 0 || factor < 1.0 || cap < base) {
+        out << "error: reliable backoff needs base > 0, factor >= 1, "
+               "cap >= base\n";
+      } else {
+        rel.backoff_base = base;
+        rel.backoff_factor = factor;
+        rel.backoff_cap = cap;
+      }
+    } else if (sub == "ack-flush") {
+      sim::Tick t = 0;
+      if (is >> t && t > 0) rel.ack_flush_ticks = t;
+      else out << "usage: reliable ack-flush <ticks>  (ticks > 0)\n";
+    } else if (sub == "deadline") {
+      sim::Tick t = 0;
+      if (is >> t && t >= 0) rel.send_deadline = t;
+      else out << "usage: reliable deadline <ticks>  (0 disables)\n";
+    } else {
+      out << "unknown reliable subcommand '" << sub << "'\n";
     }
   } else if (cmd == "show") {
     cfg_.save(out);

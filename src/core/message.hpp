@@ -23,6 +23,15 @@ struct Message {
   std::size_t heap_offset = 0;  ///< block in the shared message heap
   std::size_t heap_bytes = 0;
 
+  // Reliable-transport channel stamp (zero / unused when `reliable off`).
+  // A channel is one (sender PE, receiver PE) direction; chan_seq numbers
+  // the application messages on it starting at 1 so receivers can ack and
+  // suppress duplicate physical copies. Carried inside the 32-byte header,
+  // so encoded_size() is unchanged.
+  std::uint64_t chan_seq = 0;   ///< per-channel sequence (0 = unsequenced)
+  int chan_from = -1;           ///< sending PE of the channel, -1 = none
+  int chan_to = -1;             ///< receiving PE of the channel, -1 = none
+
   /// Fixed header: type id, sender taskid, packet count, queue link, flags.
   static constexpr std::size_t kHeaderBytes = 32;
 

@@ -843,11 +843,23 @@ void Runtime::charge_signal(mmos::Proc& proc, int peer_pe) {
   }
 }
 
-std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc) {
+std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc,
+                                            sim::Tick deadline) {
   bool retried = false;
   int outage_denials = 0;
   sim::Tick backoff = kHeapOutageBackoffTicks;
+  // Drop this proc's own entry from the waiter FIFO (deadline give-up path:
+  // a later heap_release must not wake a sender that already moved on).
+  auto leave_queue = [this, proc] {
+    for (auto it = heap_waiters_.begin(); it != heap_waiters_.end(); ++it) {
+      if (it->proc == proc) {
+        heap_waiters_.erase(it);
+        break;
+      }
+    }
+  };
   while (true) {
+    if (deadline > 0 && sys_->engine().now() >= deadline) return kDeadline;
     if (msg_heap_->outage()) {
       // Injected allocation-failure window: bounded retry with exponential
       // backoff, then a typed failure (the caller drops the message and
@@ -856,7 +868,9 @@ std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc)
       if (proc == nullptr || ++outage_denials >= kHeapOutageAttempts) {
         return kNoSpace;
       }
-      (void)proc->block_with_timeout(sys_->engine().now() + backoff);
+      sim::Tick until = sys_->engine().now() + backoff;
+      if (deadline > 0) until = std::min(until, deadline);
+      (void)proc->block_with_timeout(until);
       backoff *= 2;
       continue;
     }
@@ -874,7 +888,14 @@ std::size_t Runtime::heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc)
       heap_waiters_.push_back(HeapWaiter{proc, need});
     }
     retried = true;
-    proc->block();
+    if (deadline > 0) {
+      if (proc->block_with_timeout(deadline)) {
+        leave_queue();
+        return kDeadline;
+      }
+    } else {
+      proc->block();
+    }
   }
 }
 
@@ -921,7 +942,24 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   msg.sender = from;
   msg.args = std::move(args);
   const std::size_t bytes = msg.encoded_size();
-  const std::size_t off = heap_allocate_blocking(bytes, sender_proc);
+  // An optional send deadline bounds the worst-case wait on a full heap:
+  // bounded blocking is part of the reliable contract (_SENDFAIL instead of
+  // an indefinite stall).
+  const bool sequenced = cfg_.reliable.enabled && !reliable_exempt(msg.type);
+  const sim::Tick send_deadline =
+      sequenced && cfg_.reliable.send_deadline > 0
+          ? sys_->engine().now() + cfg_.reliable.send_deadline
+          : 0;
+  const std::size_t off = heap_allocate_blocking(bytes, sender_proc, send_deadline);
+  if (off == kDeadline) {
+    ++stats_.send_failures;
+    const SendFailInfo info{from, to, msg.type, 0, "deadline"};
+    (void)post(to, nullptr, from, "_SENDFAIL",
+               {Value(msg.type), Value(to), Value(std::int64_t{0}),
+                Value(std::string("deadline"))});
+    if (send_fail_hook_) send_fail_hook_(info);
+    return false;
+  }
   if (off == kNoSpace) {
     ++stats_.dead_letters;
     trace_event(trace::EventKind::dead_letter, to, from, 0, 0,
@@ -956,90 +994,300 @@ bool Runtime::post(TaskId from, mmos::Proc* sender_proc, TaskId to,
   stats_.message_bytes_sent += bytes;
   trace_event(trace::EventKind::msg_send, from, to, sender_pe, msg.seq, msg.type);
 
-  // Fault injection. Supervision control traffic (_CHILDTERM, _SUPFAIL)
-  // rides a reliable out-of-band channel: the recovery guarantee is that a
-  // parent always learns its child died, and the supervisor's escalation
-  // always reaches a live ancestor — no bus fault or partition touches it.
-  if (faults_ != nullptr && msg.type != "_CHILDTERM" &&
-      msg.type != "_SUPFAIL") {
-    const sim::Tick now = sys_->engine().now();
-    auto& ic = sys_->machine().interconnect();
-    // A partition window refuses the transfer outright (checked before the
-    // per-transfer fault draw: a partitioned bus never arbitrates the
-    // message at all). The transfer was already charged — the copy is
-    // dropped at the cluster boundary. Under the shared topology the window
-    // severs traffic between the two *configured* clusters; under hier/numa
-    // it severs the backbone link between their hardware clusters, so only
-    // routes that actually cross that link are affected.
-    const bool partition_hit =
-        ic.kind() == flex::Topology::shared
-            ? (from.cluster != to.cluster &&
-               faults_->partitioned(from.cluster, to.cluster, now))
-            : (ic.crosses_backbone(bill_from, dest_pe) &&
-               faults_->backbone_partitioned(ic.cluster_of(bill_from),
-                                             ic.cluster_of(dest_pe), now));
-    if (partition_hit) {
-      ++faults_->stats().bus_partition_drops;
-      trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
-                  "bus-partition " + msg.type);
-      ic.note_faulted(bill_from, dest_pe);
-      heap_release(off);
-      return true;
-    }
-    switch (faults_->next_bus_fault()) {
-      case flex::BusFault::lose:
-        // The transfer happened (and was charged) but the message vanishes.
-        // Asynchronous sends don't learn about the loss; the send succeeds.
-        trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
-                    "bus-lose " + msg.type);
-        ic.note_faulted(bill_from, dest_pe);
-        heap_release(off);
-        return true;
-      case flex::BusFault::duplicate:
-        if (auto doff = msg_heap_->allocate(bytes); doff.has_value()) {
-          trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
-                      "bus-dup " + msg.type);
-          ic.note_faulted(bill_from, dest_pe);
-          sys_->machine().message_transfer(now, bytes, bill_from, dest_pe);
-          Message dup = msg;
-          dup.heap_offset = *doff;
-          dup.seq = ++next_msg_seq_;
-          const bool ok = deliver(std::move(msg), to, to_reply_queue);
-          (void)deliver(std::move(dup), to, to_reply_queue);
-          return ok;
-        }
-        break;  // no storage for the ghost copy: deliver just the original
-      case flex::BusFault::delay: {
-        const sim::Tick delay = cfg_.faults.bus_delay_ticks;
-        trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
-                    "bus-delay " + msg.type);
-        ic.stall(now, bill_from, dest_pe, delay);
-        sys_->engine().schedule(
-            now + delay,
-            [this, m = std::move(msg), to, to_reply_queue]() mutable {
-              (void)deliver(std::move(m), to, to_reply_queue);
-            });
-        return true;
-      }
-      case flex::BusFault::none:
-        break;
-    }
+  // Reliable transport: stamp the copy with its channel sequence and hold
+  // it in the retransmit buffer before it faces the bus, so a first copy
+  // lost to the fault gauntlet below is already covered by a timer.
+  if (sequenced) register_reliable(msg, from, to, to_reply_queue, bill_from, dest_pe);
+
+  if (auto consumed = apply_bus_faults(msg, from, to, to_reply_queue,
+                                       sender_pe, bill_from, dest_pe);
+      consumed.has_value()) {
+    return *consumed;
   }
   return deliver(std::move(msg), to, to_reply_queue);
 }
 
+std::optional<bool> Runtime::apply_bus_faults(Message& msg, TaskId from,
+                                              TaskId to, bool to_reply_queue,
+                                              int sender_pe, int bill_from,
+                                              int dest_pe) {
+  // Fault injection. Supervision control traffic (_CHILDTERM, _SUPFAIL) and
+  // the transport's own _SENDFAIL ride a reliable out-of-band channel: the
+  // recovery guarantee is that a parent always learns its child died, and
+  // the supervisor's escalation always reaches a live ancestor — no bus
+  // fault or partition touches them.
+  if (faults_ == nullptr || reliable_exempt(msg.type)) return std::nullopt;
+  const std::size_t bytes = msg.heap_bytes;
+  const sim::Tick now = sys_->engine().now();
+  auto& ic = sys_->machine().interconnect();
+  // A partition window refuses the transfer outright (checked before the
+  // per-transfer fault draw: a partitioned bus never arbitrates the
+  // message at all). The transfer was already charged — the copy is
+  // dropped at the cluster boundary. Under the shared topology the window
+  // severs traffic between the two *configured* clusters; under hier/numa
+  // it severs the backbone link between their hardware clusters, so only
+  // routes that actually cross that link are affected.
+  const bool partition_hit =
+      ic.kind() == flex::Topology::shared
+          ? (from.cluster != to.cluster &&
+             faults_->partitioned(from.cluster, to.cluster, now))
+          : (ic.crosses_backbone(bill_from, dest_pe) &&
+             faults_->backbone_partitioned(ic.cluster_of(bill_from),
+                                           ic.cluster_of(dest_pe), now));
+  if (partition_hit) {
+    ++faults_->stats().bus_partition_drops;
+    if (msg.chan_seq != 0) ++stats_.reliable_copies_lost;
+    trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                "bus-partition " + msg.type);
+    ic.note_faulted(bill_from, dest_pe);
+    heap_release(msg.heap_offset);
+    return true;
+  }
+  switch (faults_->next_bus_fault()) {
+    case flex::BusFault::lose:
+      // The transfer happened (and was charged) but the message vanishes.
+      // Asynchronous sends don't learn about the loss; the send succeeds.
+      // (Under the reliable layer the retransmit timer covers the copy.)
+      if (msg.chan_seq != 0) ++stats_.reliable_copies_lost;
+      trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                  "bus-lose " + msg.type);
+      ic.note_faulted(bill_from, dest_pe);
+      heap_release(msg.heap_offset);
+      return true;
+    case flex::BusFault::duplicate:
+      if (auto doff = msg_heap_->allocate(bytes); doff.has_value()) {
+        trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                    "bus-dup " + msg.type);
+        ic.note_faulted(bill_from, dest_pe);
+        sys_->machine().message_transfer(now, bytes, bill_from, dest_pe);
+        Message dup = msg;  // same chan_seq: the receiver suppresses one copy
+        dup.heap_offset = *doff;
+        dup.seq = ++next_msg_seq_;
+        if (dup.chan_seq != 0) ++stats_.reliable_copies_sent;
+        const bool ok = deliver(std::move(msg), to, to_reply_queue);
+        (void)deliver(std::move(dup), to, to_reply_queue);
+        return ok;
+      }
+      break;  // no storage for the ghost copy: deliver just the original
+    case flex::BusFault::delay: {
+      const sim::Tick delay = cfg_.faults.bus_delay_ticks;
+      trace_event(trace::EventKind::fault, from, to, sender_pe, msg.seq,
+                  "bus-delay " + msg.type);
+      ic.stall(now, bill_from, dest_pe, delay);
+      sys_->engine().schedule(
+          now + delay, [this, m = std::move(msg), to, to_reply_queue]() mutable {
+            (void)deliver(std::move(m), to, to_reply_queue);
+          });
+      return true;
+    }
+    case flex::BusFault::none:
+      break;
+  }
+  return std::nullopt;
+}
+
+// ---- reliable transport ----
+
+bool Runtime::reliable_exempt(const std::string& type) {
+  return type == "_CHILDTERM" || type == "_SUPFAIL" || type == "_SENDFAIL";
+}
+
+bool Runtime::channel_settled(const ReliableChannel& ch, std::uint64_t seq) {
+  return seq <= ch.settled_to || ch.settled_above.count(seq) != 0;
+}
+
+void Runtime::channel_settle(ReliableChannel& ch, std::uint64_t seq) {
+  if (seq == ch.settled_to + 1) {
+    ch.settled_to = seq;
+    // Absorb any out-of-order settles that now extend the watermark.
+    auto it = ch.settled_above.begin();
+    while (it != ch.settled_above.end() && *it == ch.settled_to + 1) {
+      ch.settled_to = *it;
+      it = ch.settled_above.erase(it);
+    }
+  } else {
+    ch.settled_above.insert(seq);
+  }
+}
+
+sim::Tick Runtime::reliable_backoff(int attempt) const {
+  double d = static_cast<double>(cfg_.reliable.backoff_base);
+  const double cap = static_cast<double>(cfg_.reliable.backoff_cap);
+  for (int i = 1; i < attempt && d < cap; ++i) d *= cfg_.reliable.backoff_factor;
+  return static_cast<sim::Tick>(d > cap ? cap : d);
+}
+
+void Runtime::register_reliable(Message& msg, TaskId from, TaskId to,
+                                bool to_reply_queue, int bill_from,
+                                int dest_pe) {
+  const ChannelKey key{bill_from, dest_pe};
+  auto& ch = reliable_channels_[key];
+  msg.chan_seq = ++ch.next_seq;
+  msg.chan_from = bill_from;
+  msg.chan_to = dest_pe;
+  ++stats_.reliable_sends;
+  ++stats_.reliable_copies_sent;
+  ReliableChannel::Pending p;
+  p.from = from;
+  p.to = to;
+  p.type = msg.type;
+  p.args = msg.args;  // retransmissions rebuild the copy from this prototype
+  p.to_reply_queue = to_reply_queue;
+  if (cfg_.reliable.send_deadline > 0) {
+    p.deadline = sys_->engine().now() + cfg_.reliable.send_deadline;
+  }
+  ch.unacked.emplace(msg.chan_seq, std::move(p));
+  schedule_retransmit(key, msg.chan_seq, reliable_backoff(1));
+}
+
+void Runtime::schedule_retransmit(ChannelKey key, std::uint64_t seq,
+                                  sim::Tick delay) {
+  sys_->engine().schedule(sys_->engine().now() + delay,
+                          [this, key, seq] { retransmit_fire(key, seq); });
+}
+
+void Runtime::retransmit_fire(ChannelKey key, std::uint64_t seq) {
+  auto chit = reliable_channels_.find(key);
+  if (chit == reliable_channels_.end()) return;
+  auto& ch = chit->second;
+  const auto it = ch.unacked.find(seq);
+  if (it == ch.unacked.end()) return;  // acked meanwhile: timer no-ops
+  auto& p = it->second;
+  const sim::Tick now = sys_->engine().now();
+  if (p.deadline > 0 && now >= p.deadline) {
+    reliable_send_fail(key, seq, "deadline");
+    return;
+  }
+  if (p.attempts >= cfg_.reliable.max_retries) {
+    reliable_send_fail(key, seq, "retries");
+    return;
+  }
+  ++p.attempts;
+  Message m;
+  m.type = p.type;
+  m.sender = p.from;
+  m.args = p.args;
+  const std::size_t bytes = m.encoded_size();
+  // Timers run proc-less, so allocation cannot block; a full heap costs the
+  // attempt (the budget still bounds total work under a persistent outage)
+  // and the next timer tries again.
+  if (auto off = msg_heap_->allocate(bytes); off.has_value()) {
+    m.heap_offset = *off;
+    m.heap_bytes = bytes;
+    m.sent_at = m.arrived_at = now;
+    m.seq = ++next_msg_seq_;
+    m.chan_seq = seq;
+    m.chan_from = key.first;
+    m.chan_to = key.second;
+    ++stats_.retransmits;
+    ++stats_.reliable_copies_sent;
+    stats_.message_bytes_sent += bytes;
+    trace_event(trace::EventKind::retransmit, p.from, p.to, key.first, m.seq,
+                m.type + " #" + std::to_string(p.attempts));
+    sys_->machine().message_transfer(now, bytes, key.first, key.second);
+    const TaskId to = p.to;
+    const bool to_reply = p.to_reply_queue;
+    // apply_bus_faults / deliver may mutate the channel map (acks, settles),
+    // so `p`/`it` must not be touched past this point.
+    if (auto consumed = apply_bus_faults(m, m.sender, to, to_reply, key.first,
+                                         key.first, key.second);
+        !consumed.has_value()) {
+      (void)deliver(std::move(m), to, to_reply);
+    }
+    auto reit = reliable_channels_.find(key);
+    if (reit == reliable_channels_.end()) return;
+    const auto pit = reit->second.unacked.find(seq);
+    if (pit == reit->second.unacked.end()) return;  // settled by this very copy
+    schedule_retransmit(key, seq, reliable_backoff(pit->second.attempts + 1));
+    return;
+  }
+  schedule_retransmit(key, seq, reliable_backoff(p.attempts + 1));
+}
+
+void Runtime::reliable_send_fail(ChannelKey key, std::uint64_t seq,
+                                 const char* reason) {
+  auto& ch = reliable_channels_[key];
+  const auto it = ch.unacked.find(seq);
+  if (it == ch.unacked.end()) return;
+  const ReliableChannel::Pending p = std::move(it->second);
+  ch.unacked.erase(it);
+  ++stats_.send_failures;
+  // The typed failure rides the same out-of-band path as _CHILDTERM: the
+  // sender must learn the transport gave up even under the faults that
+  // caused the give-up.
+  (void)post(p.to, nullptr, p.from, "_SENDFAIL",
+             {Value(p.type), Value(p.to),
+              Value(static_cast<std::int64_t>(p.attempts)),
+              Value(std::string(reason))});
+  if (send_fail_hook_) {
+    send_fail_hook_({p.from, p.to, p.type, p.attempts, reason});
+  }
+}
+
+void Runtime::schedule_ack_flush(ChannelKey key) {
+  auto& ch = reliable_channels_[key];
+  if (ch.ack_pending) return;
+  ch.ack_pending = true;
+  sys_->engine().schedule(sys_->engine().now() + cfg_.reliable.ack_flush_ticks,
+                          [this, key] { flush_acks(key); });
+}
+
+void Runtime::flush_acks(ChannelKey key) {
+  auto& ch = reliable_channels_[key];
+  ch.ack_pending = false;
+  // One cumulative ack summarises every settled sequence, billed as an
+  // 8-byte control word on the reverse path. Acks are fault-exempt (like
+  // _CHILDTERM): losing one would only cause benign retransmissions, and
+  // the exemption keeps the per-transfer fault-draw count a pure function
+  // of application traffic on both engine backends.
+  sys_->machine().message_transfer(sys_->engine().now(), 8, key.second,
+                                   key.first);
+  ++stats_.acks_sent;
+  trace_event(trace::EventKind::ack, {}, {}, key.second, ch.settled_to,
+              "chan " + std::to_string(key.first) + "->" +
+                  std::to_string(key.second));
+  for (auto it = ch.unacked.begin(); it != ch.unacked.end();) {
+    if (channel_settled(ch, it->first)) {
+      it = ch.unacked.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 bool Runtime::deliver(Message msg, TaskId to, bool to_reply_queue) {
+  // Sequenced copies pass the channel's receive filter first: any arrival
+  // triggers an (eventual) cumulative ack, and a sequence that already
+  // settled — delivered or dead-lettered once — is suppressed as a
+  // duplicate, whether it came from a bus duplication or a retransmission
+  // racing the ack.
+  if (msg.chan_seq != 0) {
+    const ChannelKey key{msg.chan_from, msg.chan_to};
+    auto& ch = reliable_channels_[key];
+    ++stats_.reliable_copies_arrived;
+    schedule_ack_flush(key);
+    if (channel_settled(ch, msg.chan_seq)) {
+      ++stats_.dup_drops;
+      trace_event(trace::EventKind::dup_drop, to, msg.sender, msg.chan_to,
+                  msg.seq, msg.type);
+      heap_release(msg.heap_offset);
+      return true;
+    }
+    channel_settle(ch, msg.chan_seq);
+  }
   // Re-check liveness at delivery time: the receiver may have terminated
   // while the sender waited for heap space or the bus, or while an injected
   // delay held the message in flight.
   TaskRecord* rec = live_record(to);
   if (rec == nullptr) {
     ++stats_.dead_letters;
+    if (msg.chan_seq != 0) ++stats_.reliable_dead_letters;
     trace_event(trace::EventKind::dead_letter, to, msg.sender, 0, msg.seq,
                 msg.type);
     heap_release(msg.heap_offset);
     return false;
   }
+  if (msg.chan_seq != 0) ++stats_.reliable_delivered;
   msg.arrived_at = sys_->engine().now();
   if (to_reply_queue) {
     rec->replies.push_back(std::move(msg));

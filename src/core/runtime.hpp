@@ -8,6 +8,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "config/configuration.hpp"
@@ -91,6 +92,22 @@ struct RuntimeStats {
   std::uint64_t window_retries = 0;     ///< window requests re-sent under faults
   std::uint64_t initiates_migrated = 0; ///< held initiates re-routed off a dead cluster
   std::uint64_t messages_migrated = 0;  ///< queued _INITIATEs re-routed off a dead cluster
+
+  // Reliable-transport counters (all zero when `reliable off`). The copy
+  // counters obey two identities once the engine drains:
+  //   reliable_copies_sent == reliable_copies_lost + reliable_copies_arrived
+  //   reliable_copies_arrived == dup_drops + reliable_delivered
+  //                              + reliable_dead_letters
+  std::uint64_t reliable_sends = 0;          ///< messages sequenced on a channel
+  std::uint64_t reliable_copies_sent = 0;    ///< physical copies dispatched (first sends, retransmits, bus ghosts)
+  std::uint64_t reliable_copies_lost = 0;    ///< sequenced copies dropped (bus loss, partitions)
+  std::uint64_t reliable_copies_arrived = 0; ///< sequenced copies reaching the receiver PE
+  std::uint64_t reliable_delivered = 0;      ///< sequenced messages enqueued exactly once
+  std::uint64_t reliable_dead_letters = 0;   ///< sequenced messages settled against a dead task
+  std::uint64_t retransmits = 0;             ///< retransmit copies actually re-sent
+  std::uint64_t dup_drops = 0;               ///< duplicate copies suppressed by sequence
+  std::uint64_t acks_sent = 0;               ///< cumulative ack flushes sent
+  std::uint64_t send_failures = 0;           ///< _SENDFAIL surfaced (budget/deadline)
 };
 
 /// Outcome of Runtime::try_kill_task, so callers can tell a stale taskid
@@ -209,12 +226,26 @@ class Runtime {
     int pe = 0;
     std::string reason;  ///< "pe-halt" or "killed"
   };
+  /// Observed when the reliable transport gives up on a message (retry
+  /// budget exhausted or send deadline passed) and surfaces _SENDFAIL.
+  /// Lets the session layer tell a transport failure apart from a task
+  /// death: the destination task may be perfectly healthy behind a
+  /// partition, so supervision must not burn a restart on it.
+  struct SendFailInfo {
+    TaskId sender{};
+    TaskId dest{};
+    std::string type;
+    int attempts = 0;
+    std::string reason;  ///< "retries" or "deadline"
+  };
   using TaskStartHook = std::function<void(const TaskStartInfo&)>;
   using TerminationHook = std::function<void(const TerminationInfo&)>;
+  using SendFailHook = std::function<void(const SendFailInfo&)>;
   void set_task_start_hook(TaskStartHook h) { task_start_hook_ = std::move(h); }
   void set_termination_hook(TerminationHook h) {
     termination_hook_ = std::move(h);
   }
+  void set_send_fail_hook(SendFailHook h) { send_fail_hook_ = std::move(h); }
   /// When on, work queued on a cluster whose primary PE halts — held
   /// initiates and _INITIATE messages still in the dead controller's queue —
   /// is re-routed to the healthiest surviving cluster instead of
@@ -263,8 +294,11 @@ class Runtime {
             std::vector<Value> args, bool to_reply_queue = false,
             int via_pe = -1);
   /// Allocate message bytes in the shared heap, blocking `proc` (if given)
-  /// until space is available.
-  std::size_t heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc);
+  /// until space is available. A non-zero `deadline` bounds the wait: past
+  /// it the waiter gives up and kDeadline comes back (reliable sends with a
+  /// configured send deadline must not stall forever behind a full heap).
+  std::size_t heap_allocate_blocking(std::size_t bytes, mmos::Proc* proc,
+                                     sim::Tick deadline = 0);
   void heap_release(std::size_t offset);
 
   int resolve_where(const Where& where, int my_cluster) const;
@@ -307,6 +341,67 @@ class Runtime {
   /// Sentinel from heap_allocate_blocking when no proc was given and the
   /// heap is full (environment-originated messages are dropped, not blocked).
   static constexpr std::size_t kNoSpace = static_cast<std::size_t>(-1);
+  /// Sentinel from heap_allocate_blocking when the wait's deadline expired.
+  static constexpr std::size_t kDeadline = static_cast<std::size_t>(-2);
+
+  // ---- reliable transport (active only when cfg_.reliable.enabled) ----
+  /// One direction of physical traffic between two PEs. Sender-side state
+  /// (sequencing + the retransmit buffer) and receiver-side state (the
+  /// settled-sequence summary and the pending ack flush) live together
+  /// because the simulator hosts both ends.
+  struct ReliableChannel {
+    /// A message held for retransmission until the receiver acks its
+    /// sequence. Retransmit attempts rebuild a fresh physical copy from
+    /// this prototype, so no heap block is pinned while waiting.
+    struct Pending {
+      TaskId from{};
+      TaskId to{};
+      std::string type;
+      std::vector<Value> args;
+      bool to_reply_queue = false;
+      int attempts = 0;        ///< retransmissions performed so far
+      sim::Tick deadline = 0;  ///< absolute give-up tick; 0 = none
+    };
+    std::uint64_t next_seq = 0;               ///< sender: last sequence issued
+    std::map<std::uint64_t, Pending> unacked; ///< sender: retransmit buffer
+    std::uint64_t settled_to = 0;             ///< receiver: contiguous watermark
+    std::set<std::uint64_t> settled_above;    ///< receiver: out-of-order settles
+    bool ack_pending = false;                 ///< receiver: flush scheduled
+  };
+  using ChannelKey = std::pair<int, int>;  ///< (sender PE, receiver PE)
+
+  [[nodiscard]] static bool reliable_exempt(const std::string& type);
+  [[nodiscard]] static bool channel_settled(const ReliableChannel& ch,
+                                            std::uint64_t seq);
+  static void channel_settle(ReliableChannel& ch, std::uint64_t seq);
+  /// Backoff before the n-th retransmission: base · factor^(n-1), capped.
+  /// Repeated multiplication (not pow) so fiber and thread backends compute
+  /// bit-identical delays.
+  [[nodiscard]] sim::Tick reliable_backoff(int attempt) const;
+  /// Stamp `msg` with the next channel sequence, enter it into the
+  /// retransmit buffer, and arm the first retransmit timer.
+  void register_reliable(Message& msg, TaskId from, TaskId to,
+                         bool to_reply_queue, int bill_from, int dest_pe);
+  void schedule_retransmit(ChannelKey key, std::uint64_t seq, sim::Tick delay);
+  /// Retransmit timer body: no-op if acked, give up past the deadline or
+  /// budget, otherwise re-send a fresh copy and re-arm with doubled backoff.
+  void retransmit_fire(ChannelKey key, std::uint64_t seq);
+  /// Drop the pending entry, surface _SENDFAIL to the sender (out-of-band,
+  /// like _CHILDTERM), and notify the session layer's hook.
+  void reliable_send_fail(ChannelKey key, std::uint64_t seq,
+                          const char* reason);
+  void schedule_ack_flush(ChannelKey key);
+  /// Ack-flush timer body: bill one reverse control word, then clear every
+  /// settled sequence out of the sender's retransmit buffer (cumulative ack).
+  void flush_acks(ChannelKey key);
+  /// The bus fault gauntlet, shared by first sends and retransmissions.
+  /// Engaged when a FaultInjector is armed and the type is not exempt.
+  /// Returns the post() result when the fault machinery consumed the copy
+  /// (partitioned, lost, delivered with a duplicate, or delayed); nullopt
+  /// means the caller should deliver normally.
+  std::optional<bool> apply_bus_faults(Message& msg, TaskId from, TaskId to,
+                                       bool to_reply_queue, int sender_pe,
+                                       int bill_from, int dest_pe);
 
   // ---- fault injection and recovery ----
   /// Build the FaultInjector and schedule the plan's timed faults (boot).
@@ -385,8 +480,10 @@ class Runtime {
   /// stampede for it.
   std::deque<HeapWaiter> heap_waiters_;
   std::unique_ptr<flex::FaultInjector> faults_;  ///< null unless cfg_.faults.any()
+  std::map<ChannelKey, ReliableChannel> reliable_channels_;
   TaskStartHook task_start_hook_;
   TerminationHook termination_hook_;
+  SendFailHook send_fail_hook_;
   bool migrate_work_ = false;
   RuntimeStats stats_;
   bool booted_ = false;

@@ -214,6 +214,12 @@ void ExecutionEnvironment::dump_state(std::ostream& out) const {
   out << "  forces: splits=" << stats.forcesplits << "\n";
   out << "  windows: reads=" << stats.window_reads
       << " writes=" << stats.window_writes << "\n";
+  if (rt_->configuration().reliable.enabled) {
+    out << "  reliable: sends=" << stats.reliable_sends
+        << " retransmits=" << stats.retransmits
+        << " dup-drops=" << stats.dup_drops << " acks=" << stats.acks_sent
+        << " send-failures=" << stats.send_failures << "\n";
+  }
   out << "  message heap: in-use=" << heap.in_use() << "/" << heap.capacity()
       << " peak=" << heap.peak_in_use() << " blocks=" << heap.live_blocks()
       << " failed-allocs=" << heap.failed_allocations() << "\n";

@@ -1,6 +1,7 @@
 #include "flex/fault.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace pisces::flex {
 
@@ -70,8 +71,18 @@ std::vector<std::string> FaultPlan::validate(const MachineSpec& spec) const {
   probability(bus_duplication, "bus duplication", problems);
   probability(bus_delay_probability, "bus delay", problems);
   probability(disk_error, "disk error", problems);
-  if (bus_loss + bus_duplication + bus_delay_probability > 1.0) {
-    problems.emplace_back("bus fault probabilities must sum to <= 1");
+  const double bus_sum = bus_loss + bus_duplication + bus_delay_probability;
+  if (bus_sum > 1.0) {
+    // One uniform draw per physical transfer picks at most one of
+    // loss/dup/delay, so the three probabilities share one unit budget.
+    // (Loss and duplication still compose on a logical transfer under the
+    // reliable layer, where each retransmit attempt gets its own draw.)
+    std::ostringstream msg;
+    msg << "bus fault probabilities must sum to <= 1 (one draw per transfer "
+           "picks at most one fault): loss "
+        << bus_loss << " + duplication " << bus_duplication << " + delay "
+        << bus_delay_probability << " = " << bus_sum;
+    problems.push_back(msg.str());
   }
   if (bus_delay_ticks < 0) {
     problems.emplace_back("bus delay ticks must be >= 0");

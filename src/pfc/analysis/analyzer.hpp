@@ -67,9 +67,10 @@ struct ProgramIndex {
 /// MESSAGE redeclaration) while merging the global message table.
 ProgramIndex build_index(const Program& program, std::vector<Diagnostic>* diags);
 
-/// Protocol checks (P101-P110): SEND/INITIATE arity and argument types vs
+/// Protocol checks (P101-P111): SEND/INITIATE arity and argument types vs
 /// MESSAGE/TASKTYPE declarations, ACCEPT of undeclared or never-sent types,
-/// HANDLER/SIGNAL conflicts, unreachable tasktypes over the INITIATE graph.
+/// HANDLER/SIGNAL conflicts, unreachable tasktypes over the INITIATE graph,
+/// and task-addressed sends no live ACCEPT path can ever consume.
 void check_protocol(const ProgramIndex& index, std::vector<Diagnostic>* diags);
 
 /// Blocking / deadlock heuristics (P201-P203): DELAY-less ACCEPTs nobody

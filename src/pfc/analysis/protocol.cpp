@@ -79,8 +79,13 @@ void check_arg_types(const Stmt& s, const char* what,
   }
 }
 
-void check_send(const ProgramIndex& index, const Stmt& s,
-                std::vector<Diagnostic>* diags) {
+/// Well-formed task-addressed sends, message type -> earliest send site.
+/// Feeds P111: only sends that already passed the declaration and arity
+/// checks are candidates (a broken send has its own error).
+using LiveSendMap = std::map<std::string, const Stmt*>;
+
+void check_send(const ProgramIndex& index, const Stmt& s, bool task_addressed,
+                std::vector<Diagnostic>* diags, LiveSendMap* live_sends) {
   const auto it = index.messages.find(s.name);
   if (it == index.messages.end()) {
     add(diags, s, Severity::error, "P101",
@@ -96,6 +101,10 @@ void check_send(const ProgramIndex& index, const Stmt& s,
     return;
   }
   check_arg_types(s, "SEND of", m.params, diags);
+  if (task_addressed) {
+    auto [lit, inserted] = live_sends->emplace(s.name, &s);
+    if (!inserted && s.line < lit->second->line) lit->second = &s;
+  }
 }
 
 void check_initiate(const ProgramIndex& index, const Stmt& s,
@@ -140,12 +149,11 @@ void check_accept(const ProgramIndex& index, const Stmt& s,
   }
 }
 
-/// P107: tasktypes that no chain of INITIATEs starting at the entry
-/// tasktype (the first one declared) can ever create.
-void check_reachability(const ProgramIndex& index,
-                        std::vector<Diagnostic>* diags) {
+/// Tasktypes some chain of INITIATEs starting at the entry tasktype (the
+/// first one declared) can create. Shared by P107 and P111.
+std::set<std::string> reachable_tasktypes(const ProgramIndex& index) {
   const std::string* entry = index.entry();
-  if (entry == nullptr || index.tasktype_order.size() < 2) return;
+  if (entry == nullptr) return {};
   std::set<std::string> reachable{*entry};
   std::vector<std::string> work{*entry};
   while (!work.empty()) {
@@ -158,6 +166,16 @@ void check_reachability(const ProgramIndex& index,
       if (reachable.insert(a.stmt->name).second) work.push_back(a.stmt->name);
     }
   }
+  return reachable;
+}
+
+/// P107: tasktypes that no chain of INITIATEs starting at the entry
+/// tasktype can ever create.
+void check_reachability(const ProgramIndex& index,
+                        const std::set<std::string>& reachable,
+                        std::vector<Diagnostic>* diags) {
+  const std::string* entry = index.entry();
+  if (entry == nullptr || index.tasktype_order.size() < 2) return;
   for (const std::string& name : index.tasktype_order) {
     if (reachable.count(name) != 0) continue;
     const Tasktype& tt = *index.tasktypes.at(name).decl;
@@ -167,6 +185,42 @@ void check_reachability(const ProgramIndex& index,
                           "tasktype '" +
                           *entry + "' creates it",
                       tt.col, Severity::warning, "P107"});
+  }
+}
+
+/// P111: a task-addressed SEND of a type no live task can ever consume —
+/// either no tasktype ACCEPTs it at all, or every acceptor is unreachable
+/// over the INITIATE graph. Such a send can only sit in a queue until the
+/// receiver dies (dead letter) and, under a declared send deadline, the
+/// reliable transport surfaces it as _SENDFAIL instead. ACCEPTs bounded by
+/// a DELAY still count as live: the canonical collect-until-timeout idiom
+/// consumes the type on the normal path, and late copies are the dedup
+/// layer's job, not a protocol defect. HANDLER/SIGNAL types are consumed
+/// without an ACCEPT, so they are exempt. One report per message type, at
+/// its earliest well-formed send site.
+void check_send_liveness(const ProgramIndex& index,
+                         const LiveSendMap& live_sends,
+                         const std::set<std::string>& reachable,
+                         std::vector<Diagnostic>* diags) {
+  for (const auto& [type, stmt] : live_sends) {
+    if (index.handlers.count(type) != 0 || index.signals.count(type) != 0) {
+      continue;
+    }
+    const auto acc = index.acceptors.find(type);
+    const bool none =
+        acc == index.acceptors.end() || acc->second.empty();
+    if (!none) {
+      const bool any_live = std::any_of(
+          acc->second.begin(), acc->second.end(),
+          [&reachable](const std::string& t) { return reachable.count(t) != 0; });
+      if (any_live) continue;
+    }
+    add(diags, *stmt, Severity::warning, "P111",
+        "message type '" + type + "' is sent to a task but " +
+            (none ? "no tasktype ACCEPTs it"
+                  : "only unreachable tasktypes ACCEPT it") +
+            ": the send can never be consumed, and under a send deadline "
+            "the reliable transport surfaces it as _SENDFAIL");
   }
 }
 
@@ -191,12 +245,17 @@ void check_handler_signal(const ProgramIndex& index,
 }  // namespace
 
 void check_protocol(const ProgramIndex& index, std::vector<Diagnostic>* diags) {
+  LiveSendMap live_sends;
   for (const auto& [name, info] : index.tasktypes) {
     for (const Action& a : info.actions) {
       switch (a.kind) {
         case ActionKind::send:
+          // TO USER targets the user controller, which consumes anything.
+          check_send(index, *a.stmt, a.stmt->dest != "USER", diags,
+                     &live_sends);
+          break;
         case ActionKind::broadcast:
-          check_send(index, *a.stmt, diags);
+          check_send(index, *a.stmt, true, diags, &live_sends);
           break;
         case ActionKind::initiate:
           check_initiate(index, *a.stmt, diags);
@@ -208,7 +267,9 @@ void check_protocol(const ProgramIndex& index, std::vector<Diagnostic>* diags) {
     }
   }
   check_handler_signal(index, diags);
-  check_reachability(index, diags);
+  const std::set<std::string> reachable = reachable_tasktypes(index);
+  check_reachability(index, reachable, diags);
+  check_send_liveness(index, live_sends, reachable, diags);
 }
 
 }  // namespace pisces::pfc::analysis

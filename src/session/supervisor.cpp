@@ -14,6 +14,8 @@ Supervisor::Supervisor(rt::Runtime& rt, config::SupervisionConfig cfg)
       [this](const rt::Runtime::TaskStartInfo& i) { on_start(i); });
   rt_->set_termination_hook(
       [this](const rt::Runtime::TerminationInfo& i) { on_termination(i); });
+  rt_->set_send_fail_hook(
+      [this](const rt::Runtime::SendFailInfo& i) { on_send_fail(i); });
   rt_->set_work_migration(cfg.migrate);
 }
 
@@ -23,6 +25,7 @@ Supervisor::Supervisor(rt::Runtime& rt)
 Supervisor::~Supervisor() {
   rt_->set_task_start_hook(nullptr);
   rt_->set_termination_hook(nullptr);
+  rt_->set_send_fail_hook(nullptr);
   rt_->set_work_migration(false);
 }
 
@@ -100,6 +103,17 @@ void Supervisor::on_termination(const rt::Runtime::TerminationInfo& info) {
             std::to_string(lin.attempts) + " delay=" + std::to_string(delay));
   rt_->engine().schedule(rt_->engine().now() + delay,
                          [this, tag] { fire_restart(tag); });
+}
+
+void Supervisor::on_send_fail(const rt::Runtime::SendFailInfo& info) {
+  // Transport-failed, not task-died: the destination may be healthy behind
+  // a closed partition window, so no lineage state is touched and no
+  // restart is scheduled — the failure is recorded and traced, and the
+  // sender already holds the typed _SENDFAIL to react at protocol level.
+  ++stats_.transport_failures;
+  trace(info.sender, info.dest,
+        "transport-fail " + info.type + " attempts=" +
+            std::to_string(info.attempts) + " (" + info.reason + ")");
 }
 
 void Supervisor::fire_restart(std::uint64_t tag) {

@@ -27,6 +27,11 @@ struct SupervisorStats {
   std::uint64_t budgets_exhausted = 0;    ///< lineages that ran out of retries
   std::uint64_t escalations_delivered = 0;///< _SUPFAIL reached a live ancestor
   std::uint64_t escalations_dropped = 0;  ///< no live ancestor remained
+  /// Reliable-transport give-ups observed (_SENDFAIL). Counted separately
+  /// and never charged against a lineage's restart budget: a transport
+  /// failure means the path to a task was unreachable, not that the task
+  /// died — restarting a healthy task behind a partition would double it.
+  std::uint64_t transport_failures = 0;
 };
 
 /// One completed restart: the latency from an incarnation's death to the
@@ -92,6 +97,7 @@ class Supervisor {
 
   void on_start(const rt::Runtime::TaskStartInfo& info);
   void on_termination(const rt::Runtime::TerminationInfo& info);
+  void on_send_fail(const rt::Runtime::SendFailInfo& info);
   void fire_restart(std::uint64_t tag);
   void escalate(const Lineage& lin, rt::TaskId child, const std::string& why);
   [[nodiscard]] const RestartPolicy* policy_for(

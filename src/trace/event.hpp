@@ -26,9 +26,12 @@ enum class EventKind : int {
   child_term = 10,  ///< abnormal termination reported to the parent
   collective = 11,  ///< collective tree built (broadcast, barrier, reduce)
   supervision = 12, ///< supervision policy acted (restart, escalate, migrate)
+  retransmit = 13,  ///< reliable channel resent an unacked message copy
+  ack = 14,         ///< reliable channel acknowledged received sequences
+  dup_drop = 15,    ///< reliable channel suppressed a duplicate copy
 };
 
-inline constexpr int kEventKindCount = 13;
+inline constexpr int kEventKindCount = 16;
 
 [[nodiscard]] constexpr std::string_view kind_name(EventKind k) {
   switch (k) {
@@ -45,6 +48,9 @@ inline constexpr int kEventKindCount = 13;
     case EventKind::child_term: return "CHILD-TERM";
     case EventKind::collective: return "COLLECTIVE";
     case EventKind::supervision: return "SUPERVISION";
+    case EventKind::retransmit: return "RETRANSMIT";
+    case EventKind::ack: return "ACK";
+    case EventKind::dup_drop: return "DUP-DROP";
   }
   return "?";
 }

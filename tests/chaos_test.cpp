@@ -939,5 +939,380 @@ TEST_P(TopologySweep, HierChaosIsBackendIdentical) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TopologySweep,
                          ::testing::ValuesIn(chaos_seeds()));
 
+// ---- reliable transport under chaos ----------------------------------
+
+/// Everything observable about one reliable-transport chaos run. The key
+/// includes every transport counter, so replay/backend-identity checks pin
+/// the whole retransmission trajectory, not just the application outcome.
+struct ReliableRunResult {
+  sim::Tick end_tick = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_accepted = 0;
+  std::uint64_t dead_letters = 0;
+  std::uint64_t reliable_sends = 0;
+  std::uint64_t reliable_copies_sent = 0;
+  std::uint64_t reliable_copies_lost = 0;
+  std::uint64_t reliable_copies_arrived = 0;
+  std::uint64_t reliable_delivered = 0;
+  std::uint64_t reliable_dead_letters = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_drops = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t send_failures = 0;
+  flex::FaultStats faults;
+  std::size_t heap_in_use = 0;
+  bool timed_out = false;
+  int results_received = 0;
+
+  [[nodiscard]] auto key() const {
+    return std::tuple(end_tick, events_fired, messages_sent, messages_accepted,
+                      dead_letters, reliable_sends, reliable_copies_sent,
+                      reliable_copies_lost, reliable_copies_arrived,
+                      reliable_delivered, reliable_dead_letters, retransmits,
+                      dup_drops, acks_sent, send_failures, faults.bus_lost,
+                      faults.bus_duplicated, faults.bus_delayed,
+                      results_received);
+  }
+};
+
+/// Master/worker workload with the reliable transport switched on. Same
+/// shape as run_chaos, but no PE halts in the plans it is driven with, so
+/// with retransmission every application message must land exactly once.
+ReliableRunResult run_reliable(const flex::FaultPlan& plan,
+                               const config::ReliableConfig& rel,
+                               sim::Backend backend) {
+  sim::Engine eng(backend);
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(3);
+  for (auto& cl : cfg.clusters) cl.slots = 6;
+  cfg.faults = plan;
+  cfg.reliable = rel;
+  cfg.time_limit = 200'000'000;
+  Runtime rt(sys, std::move(cfg));
+
+  ReliableRunResult out;
+  rt.register_tasktype("worker", [](TaskContext& ctx) {
+    ctx.on_message("work", [](TaskContext& c, const Message& m) {
+      c.compute(1'000'000 + 1'000 * m.args.at(0).as_int());
+      c.send(Dest::Sender(), "result", {m.args.at(0)});
+    });
+    ctx.send(Dest::Parent(), "hello", {Value(ctx.self())});
+    ctx.accept(AcceptSpec{}.of("work", kRounds).delay_for(40'000'000));
+  });
+  rt.register_tasktype("master", [&out](TaskContext& ctx) {
+    std::vector<TaskId> kids;
+    ctx.on_message("hello", [&kids](TaskContext&, const Message& m) {
+      kids.push_back(m.args.at(0).as_taskid());
+    });
+    ctx.on_message("result",
+                   [&out](TaskContext&, const Message&) { ++out.results_received; });
+    for (int i = 0; i < kWorkers; ++i) ctx.initiate(Where::Any(), "worker");
+    ctx.accept(AcceptSpec{}.of("hello", kWorkers).delay_for(20'000'000));
+    for (int round = 0; round < kRounds; ++round) {
+      int sent = 0;
+      for (const TaskId& k : kids) {
+        if (ctx.send(Dest::To(k), "work", {Value(round)})) ++sent;
+      }
+      if (sent > 0) {
+        ctx.accept(AcceptSpec{}.of("result", sent).delay_for(30'000'000));
+      }
+    }
+  });
+  rt.boot();
+  rt.user_initiate(1, "master");
+  out.end_tick = rt.run();
+  out.events_fired = eng.events_fired();
+  const RuntimeStats& st = rt.stats();
+  out.messages_sent = st.messages_sent;
+  out.messages_accepted = st.messages_accepted;
+  out.dead_letters = st.dead_letters;
+  out.reliable_sends = st.reliable_sends;
+  out.reliable_copies_sent = st.reliable_copies_sent;
+  out.reliable_copies_lost = st.reliable_copies_lost;
+  out.reliable_copies_arrived = st.reliable_copies_arrived;
+  out.reliable_delivered = st.reliable_delivered;
+  out.reliable_dead_letters = st.reliable_dead_letters;
+  out.retransmits = st.retransmits;
+  out.dup_drops = st.dup_drops;
+  out.acks_sent = st.acks_sent;
+  out.send_failures = st.send_failures;
+  if (const auto* fi = rt.fault_injector()) out.faults = fi->stats();
+  out.heap_in_use = rt.message_heap().in_use();
+  out.timed_out = rt.timed_out();
+  return out;
+}
+
+/// The acceptance mix: 10% loss + 5% duplication, the channel must hide
+/// both from the application.
+flex::FaultPlan reliable_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  p.bus_loss = 0.10;
+  p.bus_duplication = 0.05;
+  return p;
+}
+
+/// Loss-heavy nightly mix: add reordering delay on top of heavy loss.
+flex::FaultPlan reliable_heavy_mix(std::uint64_t seed) {
+  flex::FaultPlan p;
+  p.seed = seed;
+  p.bus_loss = 0.20;
+  p.bus_duplication = 0.10;
+  p.bus_delay_probability = 0.10;
+  p.bus_delay_ticks = 60'000;
+  return p;
+}
+
+config::ReliableConfig reliable_on() {
+  config::ReliableConfig r;
+  r.enabled = true;
+  return r;
+}
+
+/// Counter identities every reliable run must satisfy: each physical copy
+/// is either lost in flight or arrives, and each arrival is settled exactly
+/// one way — duplicate-dropped, delivered, or dead-lettered. Satellite 1's
+/// `dup_drop + delivered == sent_copies` identity is the loss-free corollary
+/// of these two (copies_lost == 0, dead_letters == 0).
+void expect_counter_identities(const ReliableRunResult& r) {
+  EXPECT_EQ(r.reliable_copies_sent,
+            r.reliable_copies_lost + r.reliable_copies_arrived);
+  EXPECT_EQ(r.reliable_copies_arrived,
+            r.dup_drops + r.reliable_delivered + r.reliable_dead_letters);
+}
+
+class ReliableSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReliableSweep, ExactlyOnceUnderLossAndDuplication) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& plan : {reliable_mix(seed), reliable_heavy_mix(seed)}) {
+    SCOPED_TRACE("seed=" + std::to_string(plan.seed) +
+                 " loss=" + std::to_string(plan.bus_loss) +
+                 " dup=" + std::to_string(plan.bus_duplication));
+    const ReliableRunResult r =
+        run_reliable(plan, reliable_on(), sim::default_backend());
+    // Exactly-once: every application message reached its consumer despite
+    // the lossy, duplicating bus — full results, no dead letters, nothing
+    // hung, no send gave up.
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_EQ(r.results_received, kWorkers * kRounds);
+    EXPECT_EQ(r.dead_letters, 0u);
+    EXPECT_EQ(r.reliable_dead_letters, 0u);
+    EXPECT_EQ(r.send_failures, 0u);
+    // Duplicate suppression observably worked (5-10% duplication over ~50+
+    // copies makes at least one ghost overwhelmingly likely per seed, and
+    // every retransmit racing its own ack dup-drops too), and losses were
+    // actually repaired by retransmission rather than never happening.
+    EXPECT_GT(r.dup_drops, 0u);
+    if (r.faults.bus_lost > 0) EXPECT_GT(r.retransmits, 0u);
+    expect_counter_identities(r);
+    // One delivery per sequenced application send.
+    EXPECT_EQ(r.reliable_delivered, r.reliable_sends);
+    EXPECT_GT(r.acks_sent, 0u);
+    EXPECT_EQ(r.heap_in_use, 0u);
+  }
+}
+
+TEST_P(ReliableSweep, ReplayAndBackendIdentity) {
+  const flex::FaultPlan plan = reliable_mix(GetParam());
+  const ReliableRunResult fibers =
+      run_reliable(plan, reliable_on(), sim::Backend::fibers);
+  const ReliableRunResult threads =
+      run_reliable(plan, reliable_on(), sim::Backend::threads);
+  EXPECT_EQ(fibers.key(), threads.key());
+  const ReliableRunResult again =
+      run_reliable(plan, reliable_on(), sim::Backend::fibers);
+  EXPECT_EQ(fibers.key(), again.key());
+}
+
+TEST_P(ReliableSweep, OffLeavesTrajectoryUntouched) {
+  // With the channel off, the transport layer must be invisible: no
+  // sequencing, no acks, no retransmit timers — the run is the raw lossy
+  // trajectory, bit-identical to a config that never mentions reliability.
+  const flex::FaultPlan plan = reliable_mix(GetParam());
+  const ReliableRunResult off =
+      run_reliable(plan, config::ReliableConfig{}, sim::default_backend());
+  EXPECT_EQ(off.reliable_sends, 0u);
+  EXPECT_EQ(off.reliable_copies_sent, 0u);
+  EXPECT_EQ(off.retransmits, 0u);
+  EXPECT_EQ(off.dup_drops, 0u);
+  EXPECT_EQ(off.acks_sent, 0u);
+  EXPECT_EQ(off.send_failures, 0u);
+  // Raw 10% loss over 12 work sends virtually always eats something; the
+  // run must finish degraded rather than hang.
+  EXPECT_FALSE(off.timed_out);
+  EXPECT_LE(off.results_received, kWorkers * kRounds);
+  EXPECT_EQ(off.heap_in_use, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliableSweep,
+                         ::testing::ValuesIn(chaos_seeds()));
+
+TEST(Reliable, SendFailSurfacesTypedMessageWhenBudgetExhausts) {
+  // A partition that never heals between the master's cluster and the
+  // worker's: every copy (first send + all retransmits) is dropped at the
+  // cluster boundary, so the budget exhausts and the sender gets a typed
+  // _SENDFAIL naming the message type and attempt count.
+  auto run = [](sim::Backend backend) {
+    sim::Engine eng(backend);
+    flex::Machine machine{eng};
+    mmos::System sys{machine};
+    config::Configuration cfg = config::Configuration::simple(2);
+    cfg.faults.seed = 21;
+    cfg.faults.bus_partitions.push_back({1, 2, 1'500'000, 900'000'000});
+    cfg.reliable.enabled = true;
+    cfg.reliable.max_retries = 3;
+    cfg.reliable.backoff_base = 100'000;
+    cfg.time_limit = 900'000'000;
+    Runtime rt(sys, std::move(cfg));
+    std::string failed_type;
+    std::int64_t attempts = -1;
+    std::string reason;
+    int hellos = 0;
+    rt.register_tasktype("worker", [](TaskContext& ctx) {
+      ctx.send(Dest::Parent(), "hello", {Value(ctx.self())});
+      ctx.accept(AcceptSpec{}.of("work").delay_for(5'000'000));
+    });
+    rt.register_tasktype("master", [&](TaskContext& ctx) {
+      TaskId kid;
+      ctx.on_message("hello", [&](TaskContext&, const Message& m) {
+        ++hellos;
+        kid = m.args.at(0).as_taskid();
+      });
+      ctx.on_message("_SENDFAIL", [&](TaskContext&, const Message& m) {
+        failed_type = m.args.at(0).as_str();
+        attempts = m.args.at(2).as_int();
+        reason = m.args.at(3).as_str();
+      });
+      // The worker's hello is sent before the partition window opens.
+      ctx.initiate(Where::Cluster(2), "worker");
+      ctx.accept(AcceptSpec{}.of("hello").delay_for(1'200'000));
+      ctx.compute(1'500'000);  // step past the partition's opening edge
+      ctx.send(Dest::To(kid), "work", {});  // eaten by the partition
+      ctx.accept(AcceptSpec{}.of("_SENDFAIL").delay_for(10'000'000));
+    });
+    rt.boot();
+    rt.user_initiate(1, "master");
+    const sim::Tick end = rt.run();
+    EXPECT_FALSE(rt.timed_out());
+    EXPECT_EQ(hellos, 1);
+    EXPECT_EQ(failed_type, "work");
+    EXPECT_EQ(attempts, 3);  // the full retry budget was spent
+    EXPECT_EQ(reason, "retries");
+    EXPECT_EQ(rt.stats().send_failures, 1u);
+    EXPECT_EQ(rt.message_heap().in_use(), 0u);
+    return end;
+  };
+  EXPECT_EQ(run(sim::Backend::fibers), run(sim::Backend::threads));
+}
+
+TEST(Reliable, RetransmitDoesNotResurrectConsumedMessage) {
+  // Satellite 3: an ACCEPT with DELAY races a retransmitted copy. The ack
+  // flush window is configured *longer* than the first backoff, so the
+  // sender deterministically retransmits a message the receiver has already
+  // consumed. The second ACCEPT must time out — the stale copy is
+  // sequence-suppressed, never re-enqueued as a fresh message.
+  auto run = [](sim::Backend backend) {
+    sim::Engine eng(backend);
+    flex::Machine machine{eng};
+    mmos::System sys{machine};
+    config::Configuration cfg = config::Configuration::simple(2);
+    cfg.reliable.enabled = true;
+    cfg.reliable.backoff_base = 50'000;      // retransmit at +50k...
+    cfg.reliable.ack_flush_ticks = 300'000;  // ...long before the ack flushes
+    cfg.time_limit = 40'000'000;
+    Runtime rt(sys, std::move(cfg));
+    int pings_consumed = 0;
+    bool second_timed_out = false;
+    rt.register_tasktype("receiver", [&](TaskContext& ctx) {
+      ctx.on_message("ping", [&pings_consumed](TaskContext&, const Message&) {
+        ++pings_consumed;
+      });
+      ctx.send(Dest::Parent(), "hello", {Value(ctx.self())});
+      ctx.accept(AcceptSpec{}.of("ping").delay_for(5'000'000));
+      // The retransmitted copy lands inside this window; dedup must eat it.
+      const AcceptResult res =
+          ctx.accept(AcceptSpec{}.of("ping").delay_for(2'000'000));
+      second_timed_out = res.timed_out;
+      ctx.send(Dest::Parent(), "done");
+    });
+    rt.register_tasktype("master", [](TaskContext& ctx) {
+      TaskId kid;
+      ctx.on_message("hello", [&kid](TaskContext&, const Message& m) {
+        kid = m.args.at(0).as_taskid();
+      });
+      ctx.on_message("done", [](TaskContext&, const Message&) {});
+      ctx.initiate(Where::Cluster(2), "receiver");
+      ctx.accept(AcceptSpec{}.of("hello").delay_for(5'000'000));
+      ctx.send(Dest::To(kid), "ping", {});
+      ctx.accept(AcceptSpec{}.of("done").delay_for(20'000'000));
+    });
+    rt.boot();
+    rt.user_initiate(1, "master");
+    const sim::Tick end = rt.run();
+    EXPECT_FALSE(rt.timed_out());
+    EXPECT_EQ(pings_consumed, 1);
+    EXPECT_TRUE(second_timed_out);
+    EXPECT_GE(rt.stats().retransmits, 1u);
+    EXPECT_GE(rt.stats().dup_drops, 1u);
+    EXPECT_EQ(rt.stats().send_failures, 0u);
+    EXPECT_EQ(rt.message_heap().in_use(), 0u);
+    return std::tuple(end, rt.stats().retransmits, rt.stats().dup_drops);
+  };
+  EXPECT_EQ(run(sim::Backend::fibers), run(sim::Backend::threads));
+}
+
+TEST(Reliable, SendDeadlineBoundsBlockingAndSurfacesFailure) {
+  // A heap outage spanning the send: with a deadline the sender is released
+  // with a typed failure instead of blocking for the whole outage. The
+  // _SENDFAIL *message* cannot be stored while the heap is refusing
+  // allocations, so the failure is observed through the send's return
+  // value, the stats, and the supervisor's transport-failure hook.
+  sim::Engine eng;
+  flex::Machine machine{eng};
+  mmos::System sys{machine};
+  config::Configuration cfg = config::Configuration::simple(2);
+  cfg.faults.seed = 13;
+  cfg.faults.heap_outages.push_back({1'500'000, 50'000'000});
+  cfg.reliable.enabled = true;
+  cfg.reliable.send_deadline = 2'000'000;
+  cfg.time_limit = 100'000'000;
+  Runtime rt(sys, std::move(cfg));
+  session::Supervisor sup(rt, config::SupervisionConfig{});
+  bool send_ok = true;
+  sim::Tick sent_at = 0;
+  sim::Tick released_at = 0;
+  TaskId kid;
+  rt.register_tasktype("worker", [](TaskContext& ctx) {
+    ctx.send(Dest::Parent(), "hello", {Value(ctx.self())});
+    ctx.accept(AcceptSpec{}.of("work").delay_for(60'000'000));
+  });
+  rt.register_tasktype("master", [&](TaskContext& ctx) {
+    ctx.on_message("hello", [&kid](TaskContext&, const Message& m) {
+      kid = m.args.at(0).as_taskid();
+    });
+    ctx.initiate(Where::Cluster(2), "worker");
+    ctx.accept(AcceptSpec{}.of("hello").delay_for(1'000'000));
+    ctx.compute(1'600'000);  // land inside the outage window
+    sent_at = ctx.runtime().engine().now();
+    send_ok = ctx.send(Dest::To(kid), "work", {});
+    released_at = ctx.runtime().engine().now();
+  });
+  rt.boot();
+  rt.user_initiate(1, "master");
+  rt.run();
+  EXPECT_FALSE(rt.timed_out());
+  EXPECT_FALSE(send_ok);
+  EXPECT_EQ(rt.stats().send_failures, 1u);
+  EXPECT_EQ(sup.stats().transport_failures, 1u);
+  // Released at the deadline (within a wakeup quantum), not at the
+  // outage's end 50M ticks away.
+  EXPECT_GT(sent_at, 1'500'000);
+  EXPECT_LE(released_at, sent_at + 2'010'000);
+  EXPECT_EQ(rt.message_heap().in_use(), 0u);
+}
+
 }  // namespace
 }  // namespace pisces::rt

@@ -549,6 +549,116 @@ TEST(Validation, RejectsBadTopology) {
   EXPECT_NE(errors.front().find("topology:"), std::string::npos);
 }
 
+TEST(Persistence, ReliableRoundTripsAndDefaultStaysImplicit) {
+  auto cfg = Configuration::simple(1);
+  {
+    std::stringstream ss;
+    cfg.save(ss);
+    // Reliability off is not written: pre-reliable readers stay happy.
+    EXPECT_EQ(ss.str().find("reliable"), std::string::npos);
+    EXPECT_FALSE(Configuration::load(ss).reliable.enabled);
+  }
+  cfg.reliable.enabled = true;
+  cfg.reliable.max_retries = 4;
+  cfg.reliable.backoff_base = 75'000;
+  cfg.reliable.backoff_factor = 1.5;
+  cfg.reliable.backoff_cap = 1'200'000;
+  cfg.reliable.ack_flush_ticks = 35'000;
+  cfg.reliable.send_deadline = 9'000'000;
+  std::stringstream ss;
+  cfg.save(ss);
+  Configuration back = Configuration::load(ss);
+  EXPECT_TRUE(back.reliable.enabled);
+  EXPECT_EQ(back.reliable.max_retries, 4);
+  EXPECT_EQ(back.reliable.backoff_base, 75'000);
+  // Bit-exact factor: a reloaded config replays identical backoff timing.
+  EXPECT_EQ(back.reliable.backoff_factor, 1.5);
+  EXPECT_EQ(back.reliable.backoff_cap, 1'200'000);
+  EXPECT_EQ(back.reliable.ack_flush_ticks, 35'000);
+  EXPECT_EQ(back.reliable.send_deadline, 9'000'000);
+  std::stringstream again;
+  back.save(again);
+  EXPECT_EQ(ss.str(), again.str());
+}
+
+TEST(Validation, RejectsMalformedReliable) {
+  auto expect_rejected = [](const char* what,
+                            const std::function<void(Configuration&)>& poke) {
+    auto cfg = Configuration::simple(1);
+    cfg.reliable.enabled = true;
+    poke(cfg);
+    EXPECT_FALSE(cfg.validate(flex::MachineSpec{}).empty()) << what;
+  };
+  expect_rejected("negative retry budget",
+                  [](Configuration& c) { c.reliable.max_retries = -1; });
+  expect_rejected("zero backoff base",
+                  [](Configuration& c) { c.reliable.backoff_base = 0; });
+  expect_rejected("shrinking backoff factor",
+                  [](Configuration& c) { c.reliable.backoff_factor = 0.9; });
+  expect_rejected("cap below base", [](Configuration& c) {
+    c.reliable.backoff_base = 1000;
+    c.reliable.backoff_cap = 500;
+  });
+  expect_rejected("zero ack flush window",
+                  [](Configuration& c) { c.reliable.ack_flush_ticks = 0; });
+  expect_rejected("negative send deadline",
+                  [](Configuration& c) { c.reliable.send_deadline = -1; });
+}
+
+TEST(Menu, ReliableCommandSetsAndValidates) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  menu.apply("reliable on", out);
+  menu.apply("reliable retries 4", out);
+  menu.apply("reliable backoff 75000 1.5 1200000", out);
+  menu.apply("reliable ack-flush 35000", out);
+  menu.apply("reliable deadline 9000000", out);
+  const auto& r = menu.current().reliable;
+  EXPECT_TRUE(r.enabled);
+  EXPECT_EQ(r.max_retries, 4);
+  EXPECT_EQ(r.backoff_base, 75'000);
+  EXPECT_DOUBLE_EQ(r.backoff_factor, 1.5);
+  EXPECT_EQ(r.backoff_cap, 1'200'000);
+  EXPECT_EQ(r.ack_flush_ticks, 35'000);
+  EXPECT_EQ(r.send_deadline, 9'000'000);
+  // Invalid values are rejected wholesale, leaving the committed knobs.
+  menu.apply("reliable backoff 0 1.5 1000", out);
+  EXPECT_EQ(menu.current().reliable.backoff_base, 75'000);
+  EXPECT_NE(out.str().find("error: reliable backoff"), std::string::npos);
+  menu.apply("reliable retries -2", out);
+  EXPECT_EQ(menu.current().reliable.max_retries, 4);
+  menu.apply("reliable off", out);
+  EXPECT_FALSE(menu.current().reliable.enabled);
+  menu.apply("reliable", out);
+  EXPECT_NE(out.str().find("usage: reliable"), std::string::npos);
+}
+
+TEST(Menu, FaultBusRejectsProbabilitySumsAboveOne) {
+  ConfigMenu menu;
+  std::ostringstream out;
+  // A committed plan first, so rejection observably leaves it untouched.
+  menu.apply("fault bus 0.1 0.05 0.2 40000", out);
+  EXPECT_DOUBLE_EQ(menu.current().faults.bus_loss, 0.1);
+  // Sum above one: one draw per transfer picks at most one fault, so the
+  // three probabilities share a unit budget. The error names each
+  // component and the offending sum.
+  menu.apply("fault bus 0.5 0.4 0.3 40000", out);
+  EXPECT_NE(out.str().find("must sum to <= 1"), std::string::npos);
+  EXPECT_NE(out.str().find("loss 0.5 + dup 0.4 + delay-prob 0.3 = 1.2"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(menu.current().faults.bus_loss, 0.1);
+  EXPECT_DOUBLE_EQ(menu.current().faults.bus_duplication, 0.05);
+  // Individual probabilities outside [0, 1] are rejected too.
+  menu.apply("fault bus 1.5 0 0 0", out);
+  EXPECT_NE(out.str().find("must be in [0, 1]"), std::string::npos);
+  EXPECT_DOUBLE_EQ(menu.current().faults.bus_loss, 0.1);
+  // The usage text explains how duplication and loss compose with retries.
+  std::ostringstream usage;
+  menu.apply("fault bus", usage);
+  EXPECT_NE(usage.str().find("sum to <= 1"), std::string::npos);
+  EXPECT_NE(usage.str().find("compose across retries"), std::string::npos);
+}
+
 TEST(Menu, TopologyCommandSetsAndValidates) {
   ConfigMenu menu;
   std::ostringstream out;

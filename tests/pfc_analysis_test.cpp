@@ -133,7 +133,8 @@ TEST(PfcAnalysis, ConflictingMessageRedeclarationIsP109) {
       "MESSAGE M(INTEGER A, INTEGER B)\n"
       "TO SELF SEND M(1)\n"
       "END TASKTYPE\n");
-  EXPECT_EQ(codes(d), std::vector<std::string>{"P109"});
+  // P111 piggybacks: the well-formed send of M has no ACCEPT anywhere.
+  EXPECT_EQ(codes(d), (std::vector<std::string>{"P109", "P111"}));
 }
 
 TEST(PfcAnalysis, LiteralArgumentTypeMismatchIsP110) {
@@ -145,10 +146,85 @@ TEST(PfcAnalysis, LiteralArgumentTypeMismatchIsP110) {
       "TO SELF SEND M(N, X, S)\n"
       "END TASKTYPE\n");
   // line 3: 1.5 vs INTEGER and 2 vs REAL; line 4 and 5 are fine (variables
-  // are unknown and stay unchecked).
-  EXPECT_EQ(codes(d), (std::vector<std::string>{"P110", "P110"}));
+  // are unknown and stay unchecked). P111 fires once for M (no ACCEPT).
+  EXPECT_EQ(codes(d), (std::vector<std::string>{"P110", "P110", "P111"}));
   EXPECT_EQ(d[0].line, 3);
   EXPECT_EQ(d[1].line, 3);
+}
+
+TEST(PfcAnalysis, SendNobodyAcceptsIsP111Warning) {
+  const auto d = analyze(
+      "TASKTYPE MAIN()\n"
+      "MESSAGE ORPHAN(INTEGER N)\n"
+      "ON ANY INITIATE SINK()\n"
+      "TO ALL SEND ORPHAN(1)\n"
+      "TO ALL SEND ORPHAN(2)\n"
+      "END TASKTYPE\n"
+      "TASKTYPE SINK()\n"
+      "      CONTINUE\n"
+      "END TASKTYPE\n");
+  // Once per type, anchored at the earliest well-formed send site.
+  ASSERT_EQ(codes(d), std::vector<std::string>{"P111"});
+  EXPECT_EQ(d[0].severity, Severity::warning);
+  EXPECT_EQ(d[0].line, 4);
+  EXPECT_NE(d[0].message.find("_SENDFAIL"), std::string::npos);
+}
+
+TEST(PfcAnalysis, SendAcceptedOnlyByUnreachableTasktypeIsP111) {
+  const auto d = analyze(
+      "TASKTYPE MAIN()\n"
+      "MESSAGE EVENT()\n"
+      "TO ALL SEND EVENT()\n"
+      "END TASKTYPE\n"
+      "TASKTYPE ISLAND()\n"
+      "ACCEPT 1 OF\n"
+      "  EVENT\n"
+      "DELAY 10 THEN\n"
+      "      CONTINUE\n"
+      "END ACCEPT\n"
+      "END TASKTYPE\n");
+  // ISLAND does accept EVENT, but nothing ever initiates ISLAND: the
+  // acceptor can never exist, so the send is as dead as with no acceptor.
+  EXPECT_EQ(codes(d), (std::vector<std::string>{"P111", "P107"}));
+  EXPECT_NE(find_code(d, "P111").message.find("unreachable"),
+            std::string::npos);
+}
+
+TEST(PfcAnalysis, DelayBoundedAcceptCountsAsLiveNoP111) {
+  // The collect-until-timeout idiom: the acceptor consumes the type on its
+  // normal path and the DELAY merely bounds the wait. Sequenced late
+  // copies are the runtime dedup layer's job — not a protocol defect.
+  const auto d = analyze(
+      "TASKTYPE MAIN()\n"
+      "MESSAGE DONE()\n"
+      "ON ANY INITIATE KID()\n"
+      "ACCEPT 1 OF\n"
+      "  DONE\n"
+      "DELAY 60000 THEN\n"
+      "      CONTINUE\n"
+      "END ACCEPT\n"
+      "END TASKTYPE\n"
+      "TASKTYPE KID()\n"
+      "TO PARENT SEND DONE()\n"
+      "END TASKTYPE\n");
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(PfcAnalysis, HandlerConsumedAndToUserSendsAreNotP111) {
+  const auto d = analyze(
+      "TASKTYPE MAIN()\n"
+      "MESSAGE TICK()\n"
+      "MESSAGE REPORT()\n"
+      "HANDLER TICK\n"
+      "ON ANY INITIATE KID()\n"
+      "END TASKTYPE\n"
+      "TASKTYPE KID()\n"
+      "TO PARENT SEND TICK()\n"
+      "TO USER SEND REPORT()\n"
+      "END TASKTYPE\n");
+  // TICK is consumed by MAIN's handler without any ACCEPT; REPORT goes to
+  // the user controller, which consumes everything.
+  EXPECT_TRUE(d.empty());
 }
 
 // ---- blocking checks ----
@@ -224,7 +300,8 @@ TEST(PfcAnalysis, ToParentInUninitiatedEntryIsP203) {
       "MESSAGE M()\n"
       "TO PARENT SEND M()\n"
       "END TASKTYPE\n");
-  EXPECT_EQ(codes(d), std::vector<std::string>{"P203"});
+  // The parentless send is also one nobody ACCEPTs, so P111 rides along.
+  EXPECT_EQ(codes(d), (std::vector<std::string>{"P111", "P203"}));
 }
 
 TEST(PfcAnalysis, ToParentFromInitiatedTasktypeIsFine) {
